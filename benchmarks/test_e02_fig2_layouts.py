@@ -1,0 +1,48 @@
+"""E2 — paper Fig. 2: block-scatter / block / scatter layouts.
+
+Regenerates the exact processor-assignment rows of the figure
+(15 elements, 4 processors) and benchmarks layout computation at scale.
+"""
+
+from repro.decomp import Block, BlockScatter, Scatter
+
+from .conftest import print_table
+
+N, PMAX = 15, 4
+
+# the processor rows exactly as drawn in Fig. 2 (a), (b), (c)
+FIG2A = [0, 0, 1, 1, 2, 2, 3, 3, 0, 0, 1, 1, 2, 2, 3]
+FIG2B = [0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3]
+FIG2C = [0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2]
+
+
+def _all_layouts():
+    return {
+        "(a) block/scatter BS(2)": BlockScatter(N, PMAX, 2).layout(),
+        "(b) block": Block(N, PMAX).layout(),
+        "(c) scatter": Scatter(N, PMAX).layout(),
+    }
+
+
+def test_fig2_layouts(benchmark):
+    layouts = benchmark(_all_layouts)
+
+    rows = [["element"] + list(range(N))]
+    rows += [[name] + lay for name, lay in layouts.items()]
+    print_table(
+        "E2 (Fig. 2): data decompositions, n=15, pmax=4",
+        ["decomposition"] + [str(i) for i in range(N)],
+        [[name] + lay for name, lay in layouts.items()],
+    )
+
+    assert layouts["(a) block/scatter BS(2)"] == FIG2A
+    assert layouts["(b) block"] == FIG2B
+    assert layouts["(c) scatter"] == FIG2C
+
+
+def test_layout_scales_linearly(benchmark):
+    """Layout of a large structure is O(n) — placement is closed-form."""
+    d = BlockScatter(100_000, 64, 16)
+    lay = benchmark(d.layout)
+    assert len(lay) == 100_000
+    assert max(lay) == 63

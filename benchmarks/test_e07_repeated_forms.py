@@ -1,0 +1,79 @@
+"""E7 — §3.2.i: Repeated Block vs Repeated Scatter crossover.
+
+The paper rewrites the BS(b) enumeration into the *Repeated Scatter* form
+and states it is more favourable than *Repeated Block* under
+``b <= f(imax)/(2.pmax)``.  This bench sweeps the block size ``b`` and
+measures the remaining run-time overhead of both forms (Work counters and
+wall-clock), reporting where the crossover actually falls.
+"""
+
+import pytest
+
+from repro.core.ifunc import AffineF
+from repro.decomp import BlockScatter
+from repro.sets import Work, modify_naive
+from repro.sets.enumerators import enum_repeated_block, enum_repeated_scatter
+
+from .conftest import print_table
+
+N = 8192
+PMAX = 8
+F = AffineF(3, 1)  # non-unit stride: both forms do real work
+IMIN, IMAX = 0, (N - 2) // 3
+
+B_SWEEP = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512]
+
+
+def _overhead(enum_fn, b):
+    d = BlockScatter(N, PMAX, b)
+    w = Work()
+    for p in range(PMAX):
+        enum_fn(d, F, IMIN, IMAX, p, w)
+    return w.overhead()
+
+
+def test_both_forms_agree_everywhere():
+    for b in B_SWEEP:
+        d = BlockScatter(N, PMAX, b)
+        for p in range(PMAX):
+            rb = enum_repeated_block(d, F, IMIN, IMAX, p, Work()).indices()
+            rs = enum_repeated_scatter(d, F, IMIN, IMAX, p, Work()).indices()
+            assert rb == rs == modify_naive(d, F, IMIN, IMAX, p), (b, p)
+
+
+def test_crossover_sweep():
+    paper_threshold = F(IMAX) // (2 * PMAX)
+    rows = []
+    crossover_b = None
+    for b in B_SWEEP:
+        rb = _overhead(enum_repeated_block, b)
+        rs = _overhead(enum_repeated_scatter, b)
+        winner = "RS" if rs < rb else "RB"
+        if winner == "RB" and crossover_b is None and b > 1:
+            crossover_b = b
+        rows.append([b, rb, rs, winner,
+                     "<= thr" if b <= paper_threshold else "> thr"])
+    print_table(
+        f"E7 (§3.2.i): RB vs RS overhead sweep, f=3i+1, n={N}, pmax={PMAX}; "
+        f"paper threshold b <= f(imax)/(2.pmax) = {paper_threshold}",
+        ["b", "RB overhead", "RS overhead", "winner", "paper side"],
+        rows,
+    )
+    # Shape: RS wins at small b, RB wins at large b.
+    assert rows[0][3] == "RS", "repeated scatter must win at b=1"
+    assert rows[-1][3] == "RB", "repeated block must win at the largest b"
+    # the measured crossover lies at or below the paper's threshold
+    assert crossover_b is not None and crossover_b <= max(paper_threshold, 1)
+
+
+@pytest.mark.parametrize("b", [1, 16, 512])
+@pytest.mark.parametrize("form", ["RB", "RS"])
+def test_form_timing(benchmark, form, b):
+    d = BlockScatter(N, PMAX, b)
+    fn = enum_repeated_block if form == "RB" else enum_repeated_scatter
+
+    def run():
+        return [fn(d, F, IMIN, IMAX, p, Work()).count() for p in range(PMAX)]
+
+    counts = benchmark(run)
+    assert sum(counts) == IMAX - IMIN + 1

@@ -1,0 +1,91 @@
+"""E8 — §3.2 closing observation: enumerate-on-k advantage.
+
+For scatter decompositions with monotone non-linear ``f``, enumerating
+the data values ``v = p + k.pmax`` (sampling rate ``pmax``) instead of
+the indices ``i`` (sampling rate ``df/di``) wins by a factor of
+``pmax/(df/di)`` when ``df/di < pmax``.  The paper quotes
+``f(i) = i + (i div 4)`` and ``f(i) = i²`` as examples — both are used
+here.
+"""
+
+import pytest
+
+from repro.core.ifunc import MonotoneF
+from repro.decomp import Scatter
+from repro.sets import Work, modify_naive
+from repro.sets.enumerators import enum_scatter_on_k
+
+from .conftest import print_table
+
+N = 20_000
+IMAX = 12_000
+
+F_SLOW = MonotoneF(lambda i: i + i // 4, 1, "i + (i div 4)",
+                   derivative_max=1.25)
+
+
+def test_predicted_improvement_factor():
+    rows = []
+    for pmax in (4, 8, 16, 32, 64):
+        d = Scatter(N, pmax)
+        w_k, w_i = Work(), Work()
+        for p in range(pmax):
+            got = enum_scatter_on_k(d, F_SLOW, 0, IMAX, p, w_k).indices()
+            want = modify_naive(d, F_SLOW, 0, IMAX, p, w_i)
+            assert got == want
+        predicted = pmax / 1.25
+        measured = w_i.iterations / max(1, w_k.iterations)
+        rows.append([pmax, w_i.iterations, w_k.iterations,
+                     f"{predicted:.1f}", f"{measured:.1f}"])
+        # within 2x of the paper's pmax/(df/di) prediction
+        assert predicted / 2 <= measured <= predicted * 2
+    print_table(
+        "E8 (§3.2): enumerate-on-k, f(i) = i + (i div 4), df/di = 1.25",
+        ["pmax", "enum-on-i iters", "enum-on-k iters",
+         "predicted factor", "measured factor"],
+        rows,
+    )
+
+
+def test_quadratic_is_eventually_not_advantageous():
+    """For f(i) = i² the derivative grows past pmax: enumerating on k
+    samples (pmax apart in data space) visits far more candidates than
+    there are solutions — the paper's condition df/di < pmax is the right
+    guard."""
+    f2 = MonotoneF(lambda i: i * i, 1, "i^2")
+    pmax = 8
+    d = Scatter(N, pmax)
+    imax = int(N ** 0.5) - 1
+    w_k = Work()
+    for p in range(pmax):
+        assert enum_scatter_on_k(d, f2, 0, imax, p, w_k).indices() == \
+            modify_naive(d, f2, 0, imax, p)
+    # candidates visited ≈ f(imax)/pmax >> number of indices
+    assert w_k.iterations > (imax + 1)
+
+
+@pytest.mark.parametrize("pmax", [8, 64])
+def test_enum_on_k_timing(benchmark, pmax):
+    d = Scatter(N, pmax)
+
+    def run():
+        return sum(
+            enum_scatter_on_k(d, F_SLOW, 0, IMAX, p, Work()).count()
+            for p in range(pmax)
+        )
+
+    total = benchmark(run)
+    assert total == IMAX + 1
+
+
+@pytest.mark.parametrize("pmax", [8, 64])
+def test_naive_timing_baseline(benchmark, pmax):
+    d = Scatter(N, pmax)
+
+    def run():
+        return sum(
+            len(modify_naive(d, F_SLOW, 0, IMAX, p)) for p in range(pmax)
+        )
+
+    total = benchmark(run)
+    assert total == IMAX + 1

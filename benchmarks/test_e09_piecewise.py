@@ -1,0 +1,107 @@
+"""E9 — §3.3: piece-wise monotonic (rotate / shuffle) accesses.
+
+The paper's running example ``f(i) = (i+6) mod 20`` and larger rotates:
+breakpoint computation, range splitting for block and scatter
+decompositions, and the overhead relative to the naive scan.
+"""
+
+import pytest
+
+from repro.core.ifunc import AffineF, ModularF
+from repro.decomp import Block, Scatter
+from repro.sets import Work, modify_naive, optimize_access
+
+from .conftest import print_table
+
+N = 4096
+SHIFT = 1234
+PMAX = 8
+
+ROTATE = ModularF(AffineF(1, SHIFT), N)         # f(i) = (i + shift) mod n
+PAPER_ROTATE = ModularF(AffineF(1, 6), 20)      # the §3.3 example, verbatim
+
+
+class TestPaperExample:
+    def test_breakpoint(self):
+        # g(i) = i + 6 crosses z = 20 at i = 14
+        assert PAPER_ROTATE.breakpoints(0, 19) == [14]
+
+    def test_block_split_ranges(self):
+        # "for block decomposition, the processor where the break occurs
+        #  must have its ranges split"
+        d = Block(20, 4)
+        acc = optimize_access(d, PAPER_ROTATE, 0, 19)
+        break_proc = d.proc(PAPER_ROTATE(14))
+        segs = acc.enumerate(break_proc).segments
+        for p in range(4):
+            assert acc.indices(p) == modify_naive(d, PAPER_ROTATE, 0, 19, p)
+
+    def test_scatter_break_affects_every_processor(self):
+        # "for scatter decomposition, a breakpoint is likely to affect
+        #  every processor" — each processor's set splits into two
+        #  progressions (different x_p per piece)
+        d = Scatter(20, 4)
+        acc = optimize_access(d, PAPER_ROTATE, 0, 19)
+        for p in range(4):
+            assert acc.indices(p) == modify_naive(d, PAPER_ROTATE, 0, 19, p)
+            assert len(acc.enumerate(p).segments) >= 2
+
+    def test_z_multiple_of_pmax_simplification(self):
+        # §3.3: when z is a multiple of pmax and d=0,
+        # f(i) mod pmax = g(i) mod pmax — the rotate is invisible to
+        # scatter ownership up to index relabeling
+        z, pmax = 20, 4
+        f = ModularF(AffineF(1, 6), z)
+        for i in range(40):
+            assert f(i) % pmax == (i + 6) % pmax
+
+
+class TestLargeRotate:
+    def test_correct_under_both_decompositions(self):
+        for d in (Block(N, PMAX), Scatter(N, PMAX)):
+            acc = optimize_access(d, ROTATE, 0, N - 1)
+            for p in range(PMAX):
+                assert acc.indices(p) == modify_naive(d, ROTATE, 0, N - 1, p)
+
+    def test_overhead_summary(self):
+        rows = []
+        for d in (Block(N, PMAX), Scatter(N, PMAX)):
+            acc = optimize_access(d, ROTATE, 0, N - 1)
+            w_opt, w_naive = Work(), Work()
+            for p in range(PMAX):
+                acc.indices(p, w_opt)
+                modify_naive(d, ROTATE, 0, N - 1, p, w_naive)
+            rows.append([
+                d.kind, acc.rule, w_opt.overhead(), w_naive.overhead(),
+                f"x{w_naive.overhead() / max(1, w_opt.overhead()):,.0f}",
+            ])
+        print_table(
+            f"E9 (§3.3): rotate f(i) = (i+{SHIFT}) mod {N}, pmax={PMAX}",
+            ["decomposition", "rule", "opt overhead", "naive overhead",
+             "reduction"],
+            rows,
+        )
+        assert all(r[2] * 10 < r[3] for r in rows)
+
+
+@pytest.mark.parametrize("dec", ["block", "scatter"])
+def test_rotate_enumeration_timing(benchmark, dec):
+    d = Block(N, PMAX) if dec == "block" else Scatter(N, PMAX)
+    acc = optimize_access(d, ROTATE, 0, N - 1)
+
+    def run():
+        return sum(len(acc.indices(p)) for p in range(PMAX))
+
+    assert benchmark(run) == N
+
+
+@pytest.mark.parametrize("dec", ["block", "scatter"])
+def test_rotate_naive_timing(benchmark, dec):
+    d = Block(N, PMAX) if dec == "block" else Scatter(N, PMAX)
+
+    def run():
+        return sum(
+            len(modify_naive(d, ROTATE, 0, N - 1, p)) for p in range(PMAX)
+        )
+
+    assert benchmark(run) == N

@@ -1,0 +1,124 @@
+"""E10 — §3 intro: run-time overhead of the elementary programs.
+
+The paper's motivating numbers: computing ``Modify_p``/``Reside_p`` at
+run time costs ``imax - imin + 1`` iterations *with tests* per processor,
+while for an equal workload distribution only ``(imax - imin)/p`` indices
+are actually processed per node.  This bench reproduces those counts on
+full generated SPMD programs (naive vs optimized, shared and distributed)
+and benchmarks the end-to-end runs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import run_distributed_naive, run_shared_naive
+from repro.codegen import compile_clause, run_distributed, run_shared
+from repro.core import (
+    AffineF,
+    Clause,
+    IndexSet,
+    Ref,
+    SeparableMap,
+    copy_env,
+    evaluate_clause,
+)
+from repro.decomp import Block, Scatter
+
+from .conftest import print_table
+
+N = 2048
+PMAX = 8
+
+
+def mk_plan():
+    cl = Clause(
+        domain=IndexSet.range1d(0, N - 1),
+        lhs=Ref("A", SeparableMap([AffineF(1, 0)])),
+        rhs=Ref("B", SeparableMap([AffineF(1, 0)])) * 2 + 1,
+    )
+    return cl, compile_clause(cl, {"A": Block(N, PMAX), "B": Scatter(N, PMAX)})
+
+
+def mk_env(seed=1):
+    rng = np.random.default_rng(seed)
+    return {"A": rng.random(N), "B": rng.random(N)}
+
+
+def test_overhead_counts_match_paper_claims():
+    cl, plan = mk_plan()
+    env = mk_env()
+    ref = evaluate_clause(cl, copy_env(env))["A"]
+
+    m_naive = run_shared_naive(plan, copy_env(env))
+    m_opt = run_shared(plan, copy_env(env))
+    assert np.allclose(m_naive.env["A"], ref)
+    assert np.allclose(m_opt.env["A"], ref)
+
+    rows = []
+    for name, m in (("naive", m_naive), ("optimized", m_opt)):
+        rows.append([
+            name,
+            m.stats.total_tests(),
+            m.stats.total("iterations"),
+            m.stats.total_updates(),
+        ])
+    print_table(
+        f"E10 (§3 intro): shared-memory SPMD, n={N}, pmax={PMAX}",
+        ["variant", "membership tests", "iterations", "useful updates"],
+        rows,
+    )
+
+    # paper: naive does (imax-imin+1) tests per node
+    assert m_naive.stats.total_tests() == PMAX * N
+    # paper: only (imax-imin)/p useful iterations per node
+    assert m_naive.stats.total_updates() == N
+    assert all(c == N // PMAX for c in m_naive.stats.update_counts())
+    # optimization eliminates the tests entirely
+    assert m_opt.stats.total_tests() == 0
+    assert m_opt.stats.total("iterations") == N
+
+
+def test_distributed_overhead_counts():
+    cl, plan = mk_plan()
+    env = mk_env()
+    ref = evaluate_clause(cl, copy_env(env))["A"]
+
+    m_naive = run_distributed_naive(plan, copy_env(env))
+    m_opt = run_distributed(plan, copy_env(env))
+    assert np.allclose(m_naive.collect("A"), ref)
+    assert np.allclose(m_opt.collect("A"), ref)
+
+    # identical communication, wildly different overhead
+    assert m_naive.stats.total_messages() == m_opt.stats.total_messages()
+    assert m_opt.stats.total_tests() == 0
+    # naive: full scan for the write sweep AND per-read membership tests
+    assert m_naive.stats.total_tests() >= 2 * PMAX * N
+
+    print(f"\nE10 distributed: messages={m_opt.stats.total_messages()}, "
+          f"naive tests={m_naive.stats.total_tests()}, optimized tests=0")
+
+
+@pytest.mark.parametrize("variant", ["naive", "optimized"])
+def test_shared_run_timing(benchmark, variant):
+    _cl, plan = mk_plan()
+    env = mk_env()
+    runner = run_shared_naive if variant == "naive" else run_shared
+
+    def run():
+        return runner(plan, copy_env(env))
+
+    m = benchmark(run)
+    assert m.stats.total_updates() == N
+
+
+@pytest.mark.parametrize("variant", ["naive", "optimized"])
+def test_distributed_run_timing(benchmark, variant):
+    _cl, plan = mk_plan()
+    env = mk_env()
+    runner = run_distributed_naive if variant == "naive" else run_distributed
+
+    def run():
+        return runner(plan, copy_env(env))
+
+    m = benchmark(run)
+    assert m.stats.total_updates() == N

@@ -1,0 +1,86 @@
+"""E11 — §4: convergence of the gcd algorithm.
+
+Paper claims (after Knuth): the number of Euclid steps never exceeds
+``4.8 log10(N) - 0.32``; the average is ``1.9405 log10(n)``; and for the
+small ``a`` occurring in real index expressions (``a <= 7``) the maximum
+is 5 steps and the average ≈ 2.65 — "the algorithm is very fast and can
+be used without precaution".
+"""
+
+import math
+
+import pytest
+
+from repro.diophantine import extended_euclid, gcd_steps, knuth_step_bound
+
+from .conftest import print_table
+
+
+class TestKnuthBounds:
+    def test_worst_case_bound_over_range(self):
+        rows = []
+        for exp in range(2, 7):
+            n = 10 ** exp
+            worst = 0
+            # sample a deterministic grid plus Fibonacci-adjacent pairs
+            fib = [1, 1]
+            while fib[-1] < n:
+                fib.append(fib[-1] + fib[-2])
+            pairs = [(fib[k], fib[k - 1]) for k in range(2, len(fib) - 1)]
+            pairs += [(a, b) for a in range(1, 500, 7)
+                      for b in range(1, 500, 11)]
+            for a, b in pairs:
+                if a < n and b < n:
+                    worst = max(worst, gcd_steps(a, b))
+            bound = knuth_step_bound(n)
+            rows.append([f"10^{exp}", worst, f"{bound:.1f}"])
+            assert worst <= bound + 1.0
+        print_table(
+            "E11 (§4): Euclid step counts vs Knuth bound 4.8 log10 N - 0.32",
+            ["operand bound N", "max steps observed", "Knuth bound"],
+            rows,
+        )
+
+    def test_small_a_claims(self):
+        steps = [gcd_steps(a, p) for a in range(1, 8)
+                 for p in range(1, 4096)]
+        mx, avg = max(steps), sum(steps) / len(steps)
+        print(f"\nE11 small-a: a <= 7 over pmax 1..4095: "
+              f"max steps = {mx} (paper: 5), average = {avg:.2f} "
+              f"(paper: ≈2.65)")
+        assert mx <= 5
+        assert abs(avg - 2.65) < 0.7
+
+    def test_average_growth_is_logarithmic(self):
+        import random
+
+        rnd = random.Random(4)
+        avgs = []
+        for exp in (3, 5):
+            n = 10 ** exp
+            samples = [
+                gcd_steps(rnd.randrange(1, n), rnd.randrange(1, n))
+                for _ in range(2000)
+            ]
+            avgs.append(sum(samples) / len(samples))
+        # roughly linear in log10 n with slope ~1.94 (paper's 1.9405)
+        slope = (avgs[1] - avgs[0]) / 2
+        assert 1.2 <= slope <= 2.6
+
+
+@pytest.mark.parametrize("a", [2, 3, 5, 7])
+def test_euclid_timing_small_a(benchmark, a):
+    """§4: per-processor run-time gcd cost is negligible."""
+
+    def run():
+        return [extended_euclid(a, p).steps for p in range(1, 1025)]
+
+    steps = benchmark(run)
+    assert max(steps) <= 5
+
+
+def test_euclid_timing_large_operands(benchmark):
+    def run():
+        return extended_euclid(10**12 + 39, 10**11 + 7).g
+
+    benchmark(run)

@@ -1,0 +1,92 @@
+"""E14 — §1/§5: dynamic decompositions (automatic redistribution).
+
+The paper criticizes systems where redistribution is hand-written and
+intermingled with program code; here redistribution programs are derived
+purely from the two decomposition views.  This bench reports message
+counts and element volumes for representative redistribution pairs and
+benchmarks the generated node programs end to end.
+"""
+
+import numpy as np
+import pytest
+
+from repro.codegen import run_redistribution
+from repro.decomp import (
+    Block,
+    BlockScatter,
+    Scatter,
+    SingleOwner,
+    plan_redistribution,
+)
+from repro.machine import DistributedMachine
+
+from .conftest import print_table
+
+N = 4096
+PMAX = 8
+
+PAIRS = [
+    ("block -> scatter", lambda: Block(N, PMAX), lambda: Scatter(N, PMAX)),
+    ("scatter -> block", lambda: Scatter(N, PMAX), lambda: Block(N, PMAX)),
+    ("block -> BS(64)", lambda: Block(N, PMAX),
+     lambda: BlockScatter(N, PMAX, 64)),
+    ("BS(64) -> BS(8)", lambda: BlockScatter(N, PMAX, 64),
+     lambda: BlockScatter(N, PMAX, 8)),
+    ("gather to host", lambda: Block(N, PMAX), lambda: SingleOwner(N, PMAX, 0)),
+    ("broadcast from host", lambda: SingleOwner(N, PMAX, 0),
+     lambda: Block(N, PMAX)),
+    ("identity", lambda: Block(N, PMAX), lambda: Block(N, PMAX)),
+]
+
+
+def test_redistribution_matrix(rng):
+    rows = []
+    for label, mks, mkd in PAIRS:
+        src, dst = mks(), mkd()
+        arr = rng.random(N)
+        m = DistributedMachine(PMAX)
+        m.place("A", arr, src)
+        plan = run_redistribution(m, "A", dst)
+        assert np.allclose(m.collect("A"), arr), label
+        rows.append([
+            label, plan.message_count(), plan.moved_elements(),
+            plan.stay_elements(), plan.max_fan_out(),
+        ])
+    print_table(
+        f"E14 (§5): automatically generated redistribution, n={N}, pmax={PMAX}",
+        ["redistribution", "messages", "elements moved", "elements staying",
+         "max fan-out"],
+        rows,
+    )
+    by_label = {r[0]: r for r in rows}
+    # shape claims
+    assert by_label["identity"][1] == 0
+    assert by_label["gather to host"][1] == PMAX - 1
+    assert by_label["broadcast from host"][4] == PMAX - 1
+    # block<->scatter moves all but the coincidentally-aligned elements
+    assert by_label["block -> scatter"][2] > N * 0.8
+    # messages are coalesced per processor pair: at most pmax.(pmax-1)
+    assert all(r[1] <= PMAX * (PMAX - 1) for r in rows)
+
+
+def test_plan_volume_symmetry():
+    """block->scatter and scatter->block move the same elements (the
+    misplacement relation is symmetric)."""
+    p1 = plan_redistribution(Block(N, PMAX), Scatter(N, PMAX))
+    p2 = plan_redistribution(Scatter(N, PMAX), Block(N, PMAX))
+    assert p1.moved_elements() == p2.moved_elements()
+
+
+@pytest.mark.parametrize("label,mks,mkd", PAIRS[:4],
+                         ids=[p[0] for p in PAIRS[:4]])
+def test_redistribution_timing(benchmark, label, mks, mkd, rng):
+    arr = rng.random(N)
+
+    def run():
+        m = DistributedMachine(PMAX)
+        m.place("A", arr, mks())
+        run_redistribution(m, "A", mkd())
+        return m
+
+    m = benchmark(run)
+    assert np.allclose(m.collect("A"), arr)

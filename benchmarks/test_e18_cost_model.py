@@ -1,0 +1,100 @@
+"""E18 (extension) — modeled performance: speedup curves and the
+decomposition crossover under machine cost models.
+
+The paper argues functionally; this extension closes the loop to the
+plots 1991 readers expected: modeled speedup vs processor count for the
+generated programs, and where block vs scatter crosses over as the
+machine's latency/bandwidth ratio changes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.codegen import compile_clause, run_distributed
+from repro.core import (
+    AffineF,
+    Clause,
+    IndexSet,
+    Ref,
+    SeparableMap,
+    copy_env,
+)
+from repro.decomp import Block, Scatter
+from repro.machine import ETHERNET_CLUSTER, HYPERCUBE, SHARED_BUS
+
+from .conftest import print_table
+
+N = 2048
+
+
+def stencil(n=N):
+    return Clause(
+        IndexSet.range1d(1, n - 2),
+        Ref("A", SeparableMap([AffineF(1, 0)])),
+        Ref("B", SeparableMap([AffineF(1, -1)]))
+        + Ref("B", SeparableMap([AffineF(1, 1)])),
+    )
+
+
+def run_stencil(mk_dec, pmax, rng):
+    env = {"A": np.zeros(N), "B": rng.random(N)}
+    plan = compile_clause(stencil(), {"A": mk_dec(N, pmax),
+                                      "B": mk_dec(N, pmax)})
+    return run_distributed(plan, copy_env(env))
+
+
+def test_speedup_curve(rng):
+    rows = []
+    prev = 0.0
+    for pmax in (1, 2, 4, 8, 16, 32):
+        m = run_stencil(lambda n, p: Block(n, p), pmax, rng)
+        s = HYPERCUBE.speedup(m.stats)
+        rows.append([pmax, f"{HYPERCUBE.makespan(m.stats):.0f}",
+                     f"{s:.2f}"])
+        if pmax <= 8:
+            assert s > prev * 1.2 or pmax == 1  # healthy scaling region
+        prev = s
+    print_table(
+        f"E18: modeled speedup, block stencil, n={N}, hypercube model",
+        ["pmax", "makespan", "speedup"],
+        rows,
+    )
+    # diminishing returns must appear: efficiency at 32 < efficiency at 4
+    eff = {int(r[0]): float(r[2]) / int(r[0]) for r in rows}
+    assert eff[32] < eff[4]
+
+
+def test_decomposition_crossover_by_machine(rng):
+    rows = []
+    pmax = 8
+    m_block = run_stencil(lambda n, p: Block(n, p), pmax, rng)
+    m_scatter = run_stencil(lambda n, p: Scatter(n, p), pmax, rng)
+    for model in (SHARED_BUS, HYPERCUBE, ETHERNET_CLUSTER):
+        tb = model.makespan(m_block.stats)
+        ts = model.makespan(m_scatter.stats)
+        rows.append([model.name, f"{tb:.0f}", f"{ts:.0f}",
+                     "block" if tb < ts else "scatter",
+                     f"{ts / tb:.1f}x"])
+    print_table(
+        f"E18: block vs scatter stencil by machine model, n={N}, pmax={pmax}",
+        ["machine model", "block time", "scatter time", "winner",
+         "scatter penalty"],
+        rows,
+    )
+    # messages cost nothing on the shared bus: the two decompositions tie
+    # on compute; on message machines block wins and the penalty grows
+    # with latency
+    penalties = [float(r[4][:-1]) for r in rows]
+    assert penalties[0] <= penalties[1] <= penalties[2]
+    assert rows[1][3] == "block"
+    assert rows[2][3] == "block"
+
+
+@pytest.mark.parametrize("pmax", [4, 16])
+def test_speedup_model_timing(benchmark, pmax, rng):
+    def run():
+        m = run_stencil(lambda n, p: Block(n, p), pmax, rng)
+        return HYPERCUBE.speedup(m.stats)
+
+    s = benchmark(run)
+    assert s > 1.0

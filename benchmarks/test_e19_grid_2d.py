@@ -1,0 +1,122 @@
+"""E19 (extension) — 2-D decompositions: the surface-to-volume effect.
+
+The d-dimensional lifting of the paper's framework lets the same 5-point
+stencil run under 1-D (row-block) and 2-D (grid) decompositions of the
+matrix.  Communication is proportional to the partition *surface*:
+strips pay ``2 m`` per node, square tiles pay ``4 m/√P`` — the reason
+every later HPF/Chapel-era code distributes both axes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.codegen.nddist import (
+    collect_nd,
+    compile_clause_nd_dist,
+    run_distributed_nd,
+)
+from repro.core import (
+    AffineF,
+    Bounds,
+    Clause,
+    Const,
+    IdentityF,
+    IndexSet,
+    Ref,
+    SeparableMap,
+    copy_env,
+    evaluate_clause,
+)
+from repro.core.expr import BinOp
+from repro.decomp import Block, Collapsed, GridDecomposition
+
+from .conftest import print_table
+
+N = 48  # N x N matrix, 16 processors
+P_SIDE = 4
+PMAX = P_SIDE * P_SIDE
+
+
+def five_point():
+    def sref(di, dj):
+        fi = AffineF(1, di) if di else IdentityF()
+        fj = AffineF(1, dj) if dj else IdentityF()
+        return Ref("S", SeparableMap([fi, fj]))
+
+    rhs = BinOp("+", BinOp("+", sref(-1, 0), sref(1, 0)),
+                BinOp("+", sref(0, -1), sref(0, 1)))
+    return Clause(
+        IndexSet(Bounds((1, 1), (N - 2, N - 2))),
+        Ref("T", SeparableMap([IdentityF(), IdentityF()])),
+        BinOp("*", Const(0.25), rhs),
+    )
+
+
+def rows_dec():
+    return GridDecomposition([Block(N, PMAX), Collapsed(N)])
+
+
+def tiles_dec():
+    return GridDecomposition([Block(N, P_SIDE), Block(N, P_SIDE)])
+
+
+def env2d(rng):
+    return {"S": rng.random((N, N)), "T": np.zeros((N, N))}
+
+
+def test_surface_to_volume(rng):
+    cl = five_point()
+    env0 = env2d(rng)
+    ref = evaluate_clause(cl, copy_env(env0))["T"]
+
+    rows = []
+    results = {}
+    for label, mk in (("1-D row strips", rows_dec),
+                      ("2-D square tiles", tiles_dec)):
+        g = mk()
+        plan = compile_clause_nd_dist(cl, {"T": g, "S": g})
+        m = run_distributed_nd(plan, copy_env(env0))
+        assert np.allclose(collect_nd(m, "T"), ref), label
+        results[label] = m
+        per_node = m.stats.total_elements_moved() / PMAX
+        rows.append([label, m.stats.total_messages(),
+                     m.stats.total_elements_moved(), f"{per_node:.0f}"])
+    print_table(
+        f"E19: 5-point stencil, {N}x{N} on {PMAX} nodes — 1-D vs 2-D "
+        f"decomposition",
+        ["decomposition", "messages", "elements moved", "per node"],
+        rows,
+    )
+    # square tiles must communicate strictly less than strips once
+    # P_SIDE > 2 (surface 4N/√P < 2N)
+    strips = results["1-D row strips"].stats.total_elements_moved()
+    tiles = results["2-D square tiles"].stats.total_elements_moved()
+    assert tiles < strips
+    # strips: interior nodes exchange 2 full rows of N-2 interior points
+    assert strips == 2 * (PMAX - 1) * (N - 2)
+
+
+def test_load_balance_identical(rng):
+    cl = five_point()
+    for mk in (rows_dec, tiles_dec):
+        g = mk()
+        plan = compile_clause_nd_dist(cl, {"T": g, "S": g})
+        m = run_distributed_nd(plan, env2d(rng))
+        counts = m.stats.update_counts()
+        # interior updates only; boundary-owning nodes do slightly less
+        assert sum(counts) == (N - 2) * (N - 2)
+
+
+@pytest.mark.parametrize("label,mk", [("rows", rows_dec),
+                                      ("tiles", tiles_dec)])
+def test_2d_stencil_timing(benchmark, label, mk, rng):
+    cl = five_point()
+    env0 = env2d(rng)
+    g = mk()
+    plan = compile_clause_nd_dist(cl, {"T": g, "S": g})
+
+    def run():
+        return run_distributed_nd(plan, copy_env(env0))
+
+    m = benchmark(run)
+    assert m.stats.total_updates() == (N - 2) * (N - 2)

@@ -1,0 +1,137 @@
+"""E20 (extension) — inspector/executor for indirect accesses.
+
+§3 concedes that run-time-dependent access functions defeat compile-time
+reduction; the Kali-style inspector/executor (Koelbel & Mehrotra, cited
+by the paper) is the era's answer.  This bench measures:
+
+* executor vs general-template communication (coalesced pair messages
+  vs per-element envelopes) for a random gather ``A[i] := B[T[i]]``,
+* inspector amortization: schedule construction cost is paid once and
+  reused across time steps.
+"""
+
+import numpy as np
+import pytest
+
+from repro.codegen import compile_clause, run_distributed
+from repro.codegen.inspector import (
+    build_schedule,
+    compile_indirect,
+    run_executor,
+)
+from repro.core import (
+    AffineF,
+    Clause,
+    IndexSet,
+    Ref,
+    SeparableMap,
+    copy_env,
+    evaluate_clause,
+)
+from repro.core.ifunc import IndirectF
+from repro.decomp import Block, Scatter
+from repro.machine import DistributedMachine
+
+from .conftest import print_table
+
+N, PMAX = 1024, 8
+
+
+def clause_for(table):
+    return Clause(
+        IndexSet.range1d(0, N - 1),
+        Ref("A", SeparableMap([AffineF(1, 0)])),
+        Ref("B", SeparableMap([IndirectF(table)])) * 2 + 1,
+    )
+
+
+def fresh_machine(env0, dA, dB):
+    m = DistributedMachine(PMAX)
+    m.place("A", env0["A"], dA)
+    m.place("B", env0["B"], dB)
+    return m
+
+
+def test_message_comparison(rng):
+    table = rng.integers(0, N, N)
+    cl = clause_for(table)
+    env0 = {"A": np.zeros(N), "B": rng.random(N)}
+    ref = evaluate_clause(cl, copy_env(env0))["A"]
+    dA, dB = Block(N, PMAX), Block(N, PMAX)
+
+    plan_g = compile_clause(cl, {"A": dA, "B": dB})
+    m_g = run_distributed(plan_g, copy_env(env0))
+    assert np.allclose(m_g.collect("A"), ref)
+
+    plan_x = compile_indirect(cl, {"A": dA, "B": dB})
+    sched = build_schedule(plan_x)
+    m_x = fresh_machine(copy_env(env0), dA, dB)
+    run_executor(sched, m_x)
+    assert np.allclose(m_x.collect("A"), ref)
+
+    rows = [
+        ["general §2.10 template", m_g.stats.total_messages(),
+         m_g.stats.total_elements_moved(), m_g.stats.total_tests()],
+        ["inspector/executor", m_x.stats.total_messages(),
+         m_x.stats.total_elements_moved(), 0],
+    ]
+    print_table(
+        f"E20: random gather A[i] := B[T[i]], n={N}, pmax={PMAX}",
+        ["variant", "messages", "elements", "run-time tests"],
+        rows,
+    )
+    # coalescing: at most pmax(pmax-1) envelopes vs ~n(1-1/p) per-element
+    assert m_x.stats.total_messages() <= PMAX * (PMAX - 1)
+    assert m_g.stats.total_messages() > m_x.stats.total_messages() * 5
+    # identical payload volume
+    assert m_x.stats.total_elements_moved() == \
+        m_g.stats.total_elements_moved()
+
+
+def test_amortization_over_time_steps(rng):
+    table = rng.integers(0, N, N)
+    cl = clause_for(table)
+    dA, dB = Block(N, PMAX), Scatter(N, PMAX)
+    plan = compile_indirect(cl, {"A": dA, "B": dB})
+    sched = build_schedule(plan)
+    for step in range(5):
+        env = {"A": np.zeros(N), "B": rng.random(N)}
+        ref = evaluate_clause(cl, copy_env(env))["A"]
+        m = fresh_machine(copy_env(env), dA, dB)
+        run_executor(sched, m)
+        assert np.allclose(m.collect("A"), ref), step
+    print(f"\nE20: one inspection served 5 executor steps "
+          f"({sched.total_elements()} elements/step in "
+          f"{sched.message_count()} messages)")
+
+
+def test_inspector_timing(benchmark, rng):
+    table = rng.integers(0, N, N)
+    plan = compile_indirect(clause_for(table),
+                            {"A": Block(N, PMAX), "B": Scatter(N, PMAX)})
+    sched = benchmark(build_schedule, plan)
+    assert sched.message_count() > 0
+
+
+@pytest.mark.parametrize("variant", ["executor", "general"])
+def test_apply_timing(benchmark, variant, rng):
+    table = rng.integers(0, N, N)
+    cl = clause_for(table)
+    env0 = {"A": np.zeros(N), "B": rng.random(N)}
+    dA, dB = Block(N, PMAX), Scatter(N, PMAX)
+    if variant == "executor":
+        plan = compile_indirect(cl, {"A": dA, "B": dB})
+        sched = build_schedule(plan)
+
+        def run():
+            m = fresh_machine(copy_env(env0), dA, dB)
+            run_executor(sched, m)
+            return m
+    else:
+        plan = compile_clause(cl, {"A": dA, "B": dB})
+
+        def run():
+            return run_distributed(plan, copy_env(env0))
+
+    m = benchmark(run)
+    assert m.stats.total_updates() == N

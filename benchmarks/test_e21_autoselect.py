@@ -1,0 +1,93 @@
+"""E21 (extension) — automatic decomposition selection.
+
+The layer above the paper: search the decomposition space with the
+generated programs as the cost oracle.  Static search ranks whole-program
+assignments; the phase-wise DP additionally inserts automatically
+generated redistributions where switching layouts pays.
+"""
+
+import numpy as np
+import pytest
+
+from repro.codegen.autoselect import choose_dynamic, choose_static
+from repro.core import (
+    AffineF,
+    Clause,
+    IndexSet,
+    Program,
+    Ref,
+    SeparableMap,
+)
+from repro.decomp import Block, Replicated, Scatter
+from repro.machine import ETHERNET_CLUSTER, HYPERCUBE, CostModel
+
+from .conftest import print_table
+
+N, PMAX = 128, 4
+
+
+def stencil(write, read, n=N):
+    return Clause(
+        IndexSet.range1d(1, n - 2),
+        Ref(write, SeparableMap([AffineF(1, 0)])),
+        Ref(read, SeparableMap([AffineF(1, -1)]))
+        + Ref(read, SeparableMap([AffineF(1, 1)])),
+    )
+
+
+def prefix(write, n=N):
+    return Clause(
+        IndexSet.range1d(0, n // 4 - 1),
+        Ref(write, SeparableMap([AffineF(1, 0)])),
+        Ref(write, SeparableMap([AffineF(1, 0)])) * 2,
+    )
+
+
+def test_static_selection_table(rng):
+    prog = Program([stencil("A", "B")])
+    env = {"A": np.zeros(N), "B": rng.random(N)}
+    rows = []
+    for model in (HYPERCUBE, ETHERNET_CLUSTER):
+        sc = choose_static(prog, env, PMAX, model)
+        top = sc.ranking[:3]
+        rows.append([model.name, sc.describe(), f"{sc.cost:.0f}",
+                     f"{top[-1][1] / max(sc.cost, 1e-9):.1f}x spread(top3)"])
+        # read-only stencil operand should be replicated on message
+        # machines
+        assert isinstance(sc.best["B"], Replicated)
+    print_table(
+        f"E21: static decomposition choice, stencil A<-B, n={N}, pmax={PMAX}",
+        ["machine model", "chosen", "cost", "notes"],
+        rows,
+    )
+
+
+def test_dynamic_beats_static_on_phase_change(rng):
+    model = CostModel("cheap-comm", alpha=1.0, beta=0.05,
+                      t_barrier=1.0, t_test=0.5)
+    prog = Program([stencil("B", "B"), prefix("B")])
+    env = {"B": rng.random(N)}
+    candidates = {"B": [Block(N, PMAX), Scatter(N, PMAX)]}
+    dc = choose_dynamic(prog, env, PMAX, model, candidates=candidates)
+    layouts = [type(a["B"]).__name__ for a in dc.per_phase]
+    print(f"\nE21 dynamic: phases -> {layouts}, cost {dc.cost:.0f} "
+          f"(best static {dc.static_cost:.0f}, "
+          f"saving {100 * (1 - dc.cost / dc.static_cost):.0f}%)")
+    assert dc.cost < dc.static_cost
+    assert layouts == ["Block", "Scatter"]
+
+
+def test_static_search_timing(benchmark, rng):
+    prog = Program([stencil("A", "B")])
+    env = {"A": np.zeros(N), "B": rng.random(N)}
+    sc = benchmark(choose_static, prog, env, PMAX, HYPERCUBE)
+    assert sc.cost > 0
+
+
+def test_dynamic_search_timing(benchmark, rng):
+    prog = Program([stencil("B", "B"), prefix("B")])
+    env = {"B": rng.random(N)}
+    candidates = {"B": [Block(N, PMAX), Scatter(N, PMAX)]}
+    dc = benchmark(choose_dynamic, prog, env, PMAX, HYPERCUBE,
+                   candidates=candidates)
+    assert dc.cost > 0

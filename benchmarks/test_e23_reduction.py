@@ -1,0 +1,88 @@
+"""E23 (extension) — generated reductions: tree vs linear combine.
+
+Global reductions complete the SPMD story: local folds over the Table I
+iteration partition, then a combine whose *shape* matters — the linear
+gather's critical path is p−1 message hops, the binary tree's is
+⌈log₂ p⌉.  Both are measured on paced traces; message counts tie (p−1
+either way), the schedule depth does not.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.codegen.reduction import compile_reduce, run_reduce
+from repro.core import AffineF, IndexSet, Ref, SeparableMap
+from repro.decomp import Block
+from repro.machine import DistributedMachine
+
+from .conftest import print_table
+
+N = 256
+
+
+def plan_for(pmax, n=N):
+    return compile_reduce(
+        "+", IndexSet.range1d(0, n - 1),
+        Ref("B", SeparableMap([AffineF(1, 0)])),
+        {"B": Block(n, pmax)}, Block(n, pmax),
+    )
+
+
+def test_combine_depth_table(rng):
+    env = {"B": rng.random(N)}
+    rows = []
+    for pmax in (4, 8, 16, 32):
+        depths = {}
+        msgs = {}
+        for combine in ("linear", "tree"):
+            plan = plan_for(pmax)
+            trace = []
+            m, got = run_reduce(plan, env, combine=combine, trace=trace,
+                                paced=True)
+            assert np.isclose(got, env["B"].sum())
+            depths[combine] = max(ev.round for ev in trace)
+            msgs[combine] = m.stats.total_messages()
+        rows.append([
+            pmax, msgs["linear"], msgs["tree"],
+            depths["linear"], depths["tree"],
+            f"log2={math.ceil(math.log2(pmax))}",
+        ])
+        assert msgs["linear"] == msgs["tree"] == pmax - 1
+        assert depths["tree"] < depths["linear"]
+    print_table(
+        f"E23: sum reduction over n={N}, paced traces",
+        ["pmax", "linear msgs", "tree msgs", "linear makespan",
+         "tree makespan", "tree bound"],
+        rows,
+    )
+
+
+def test_reduction_correct_under_misalignment(rng):
+    pmax = 8
+    env = {"B": rng.random(N)}
+    from repro.decomp import Scatter
+
+    plan = compile_reduce(
+        "+", IndexSet.range1d(0, N - 1),
+        Ref("B", SeparableMap([AffineF(1, 0)])),
+        {"B": Scatter(N, pmax)}, Block(N, pmax),
+    )
+    m, got = run_reduce(plan, env)
+    assert np.isclose(got, env["B"].sum())
+    print(f"\nE23 misaligned reduction: {m.stats.total_messages()} operand "
+          f"messages + combine, result OK")
+
+
+@pytest.mark.parametrize("combine", ["linear", "tree"])
+@pytest.mark.parametrize("pmax", [8, 32])
+def test_reduction_timing(benchmark, combine, pmax, rng):
+    env = {"B": rng.random(N)}
+    plan = plan_for(pmax)
+
+    def run():
+        return run_reduce(plan, env, combine=combine)
+
+    _m, got = benchmark(run)
+    assert np.isclose(got, env["B"].sum())

@@ -1,0 +1,94 @@
+"""E24 (extension) — strong and weak scaling of the generated programs.
+
+The two scaling disciplines every systems evaluation reports, on the
+block stencil with the hypercube cost model:
+
+* **strong scaling** — fixed n, growing p: speedup rises, efficiency
+  falls as the constant per-node communication stops amortizing;
+* **weak scaling** — fixed n/p, growing p: per-node work constant, so
+  modeled time should stay near-flat (boundary exchange is O(1) per
+  node under block decomposition).
+"""
+
+import numpy as np
+import pytest
+
+from repro.codegen import compile_clause, run_distributed
+from repro.core import (
+    AffineF,
+    Clause,
+    IndexSet,
+    Ref,
+    SeparableMap,
+    copy_env,
+)
+from repro.decomp import Block
+from repro.machine import HYPERCUBE
+
+from .conftest import print_table
+
+
+def stencil(n):
+    return Clause(
+        IndexSet.range1d(1, n - 2),
+        Ref("A", SeparableMap([AffineF(1, 0)])),
+        Ref("B", SeparableMap([AffineF(1, -1)]))
+        + Ref("B", SeparableMap([AffineF(1, 1)])),
+    )
+
+
+def run_stencil(n, pmax, rng):
+    env = {"A": np.zeros(n), "B": rng.random(n)}
+    plan = compile_clause(stencil(n), {"A": Block(n, pmax),
+                                       "B": Block(n, pmax)})
+    return run_distributed(plan, copy_env(env))
+
+
+def test_strong_scaling(rng):
+    n = 4096
+    rows = []
+    speedups = {}
+    for pmax in (1, 2, 4, 8, 16, 32):
+        m = run_stencil(n, pmax, rng)
+        s = HYPERCUBE.speedup(m.stats)
+        speedups[pmax] = s
+        rows.append([pmax, f"{HYPERCUBE.makespan(m.stats):.0f}",
+                     f"{s:.2f}", f"{s / pmax:.2f}"])
+    print_table(
+        f"E24 strong scaling: block stencil, n={n}, hypercube model",
+        ["pmax", "makespan", "speedup", "efficiency"],
+        rows,
+    )
+    assert speedups[8] > speedups[2] > 0
+    # efficiency monotonically decays
+    effs = [speedups[p] / p for p in (2, 8, 32)]
+    assert effs[0] > effs[1] > effs[2]
+
+
+def test_weak_scaling(rng):
+    per_node = 512
+    rows = []
+    times = {}
+    # start at 4 nodes: below that, nodes have fewer than two neighbours
+    # and per-node communication is not yet constant
+    for pmax in (4, 8, 16, 32):
+        n = per_node * pmax
+        m = run_stencil(n, pmax, rng)
+        t = HYPERCUBE.makespan(m.stats)
+        times[pmax] = t
+        rows.append([pmax, n, f"{t:.0f}",
+                     m.stats.total_messages()])
+    print_table(
+        f"E24 weak scaling: block stencil, {per_node} elements/node",
+        ["pmax", "n", "makespan", "messages"],
+        rows,
+    )
+    # near-flat: worst/best modeled time within 10%
+    ts = list(times.values())
+    assert max(ts) / min(ts) < 1.10
+
+
+@pytest.mark.parametrize("pmax", [4, 16])
+def test_scaling_run_timing(benchmark, pmax, rng):
+    m = benchmark(run_stencil, 2048, pmax, rng)
+    assert m.stats.total_updates() == 2046

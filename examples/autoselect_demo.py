@@ -1,0 +1,75 @@
+"""Automatic decomposition selection: let the machinery choose.
+
+The paper automates code generation *given* a decomposition; this demo
+runs the layer above — search the decomposition space using the
+generated programs themselves as the cost oracle:
+
+* static: one assignment for the whole program, ranked by modeled
+  makespan under a machine cost model;
+* dynamic: per-phase assignments with automatically generated
+  redistribution between phases (the §5 "dynamic decompositions").
+
+Run:  python examples/autoselect_demo.py
+"""
+
+import numpy as np
+
+from repro.codegen.autoselect import choose_dynamic, choose_static
+from repro.core import AffineF, Clause, IndexSet, Program, Ref, SeparableMap
+from repro.decomp import Block, Scatter
+from repro.machine import ETHERNET_CLUSTER, HYPERCUBE, CostModel
+from repro.report import print_table
+
+N, PMAX = 128, 4
+
+
+def stencil(write, read):
+    return Clause(
+        IndexSet.range1d(1, N - 2),
+        Ref(write, SeparableMap([AffineF(1, 0)])),
+        Ref(read, SeparableMap([AffineF(1, -1)]))
+        + Ref(read, SeparableMap([AffineF(1, 1)])),
+    )
+
+
+def prefix(write):
+    return Clause(
+        IndexSet.range1d(0, N // 4 - 1),
+        Ref(write, SeparableMap([AffineF(1, 0)])),
+        Ref(write, SeparableMap([AffineF(1, 0)])) * 2,
+    )
+
+
+def main() -> None:
+    rng = np.random.default_rng(5)
+
+    # ---- static: which layout should the stencil use? -------------------
+    prog = Program([stencil("A", "B")])
+    env = {"A": np.zeros(N), "B": rng.random(N)}
+    rows = []
+    for model in (HYPERCUBE, ETHERNET_CLUSTER):
+        sc = choose_static(prog, env, PMAX, model)
+        rows.append([model.name, sc.describe(), f"{sc.cost:.0f}"])
+    print_table(
+        f"static choice for A[i] := B[i-1]+B[i+1], n={N}, pmax={PMAX}",
+        ["machine model", "chosen assignment", "modeled cost"],
+        rows,
+    )
+
+    # ---- dynamic: switch layouts between phases --------------------------
+    model = CostModel("cheap-comm", alpha=1.0, beta=0.05, t_barrier=1.0,
+                      t_test=0.5)
+    prog2 = Program([stencil("B", "B"), prefix("B")])
+    dc = choose_dynamic(
+        prog2, {"B": rng.random(N)}, PMAX, model,
+        candidates={"B": [Block(N, PMAX), Scatter(N, PMAX)]},
+    )
+    print("\ntwo-phase program (stencil, then shrinking prefix):")
+    print(dc.describe())
+    print(f"dynamic cost {dc.cost:.0f} vs best static {dc.static_cost:.0f} "
+          f"({100 * (1 - dc.cost / dc.static_cost):.0f}% saved) — the DP "
+          f"inserted an automatic block->scatter redistribution.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""DOACROSS pipelining: a first-order IIR filter across processors.
+
+The paper notes that non-parallel orderings "translate to DOACROSS-style
+synchronization patterns" (§2.6).  This example runs the sequentially
+ordered recurrence
+
+    ``y[i] := a * y[i-1] + x[i]``      (a one-pole IIR filter)
+
+on the distributed machine: the data dependence itself synchronizes the
+pipeline — each node starts as soon as its predecessor's boundary value
+arrives.  Block decomposition makes only ``pmax - 1`` dependence hops
+cross the network; scatter makes *every* hop a message (a fully
+serialized systolic chain).
+
+Run:  python examples/doacross_pipeline.py
+"""
+
+import numpy as np
+
+from repro import Block, Clause, IndexSet, Ref, Scatter, SeparableMap
+from repro.codegen.doacross import compile_doacross, run_doacross
+from repro.core import SEQ, AffineF, BinOp, Const, copy_env, evaluate_clause
+
+N = 240
+PMAX = 8
+A = 0.9
+
+
+def iir_clause() -> Clause:
+    prev = Ref("y", SeparableMap([AffineF(1, -1)]))
+    x = Ref("x", SeparableMap([AffineF(1, 0)]))
+    return Clause(
+        domain=IndexSet.range1d(1, N - 1),
+        lhs=Ref("y", SeparableMap([AffineF(1, 0)])),
+        rhs=BinOp("+", BinOp("*", Const(A), prev), x),
+        ordering=SEQ,
+        name="iir",
+    )
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    env0 = {"y": np.zeros(N), "x": rng.random(N)}
+    env0["y"][0] = env0["x"][0]
+
+    clause = iir_clause()
+    ref = evaluate_clause(clause, copy_env(env0))["y"]
+
+    print(f"one-pole IIR filter y[i] = {A}*y[i-1] + x[i], n={N}, "
+          f"pmax={PMAX}\n")
+    for label, mk in (("block", lambda: Block(N, PMAX)),
+                      ("scatter", lambda: Scatter(N, PMAX))):
+        plan = compile_doacross(clause, {"y": mk(), "x": mk()})
+        m = run_doacross(plan, copy_env(env0))
+        got = m.collect("y")
+        assert np.allclose(got, ref), label
+        print(f"    {label:8s} dependence messages: "
+              f"{m.stats.total_messages():4d}   result OK")
+
+    print("\nblock: only the pmax-1 block boundaries synchronize;")
+    print("scatter: the full chain crosses the network at every step —")
+    print("the decomposition turns a pipeline into a systolic array.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Dot product: idiom recognition turns a serial loop into a reduction.
+
+The source program is the natural sequential accumulation::
+
+    for i := 0 to n - 1 seq do
+        s[0] := s[0] + X[i] * Y[i];
+    od
+
+Taken literally, the ``seq`` chain admits no parallelism.  The idiom
+recognizer spots the associative accumulation, and the generated program
+becomes: Table I iteration partition → local folds → log-depth tree
+combine — with the operand fetches handled by the usual §2.10 machinery
+when the vectors are decomposed differently.
+
+Run:  python examples/dot_product.py
+"""
+
+import numpy as np
+
+from repro.codegen.idioms import recognize_reduction, run_clause_or_reduction
+from repro.decomp import Block, Scatter, SingleOwner
+from repro.frontend import translate_source
+
+N, PMAX = 512, 8
+
+SOURCE = """
+for i := 0 to n - 1 seq do
+    s[0] := s[0] + X[i] * Y[i];
+od
+"""
+
+
+def main() -> None:
+    rng = np.random.default_rng(17)
+    x, y = rng.random(N), rng.random(N)
+
+    program = translate_source(SOURCE, params={"n": N})
+    clause = program.clauses[0]
+    rec = recognize_reduction(clause)
+    print(f"clause: {clause!r}")
+    print(f"recognized: op={rec.op!r}, accumulator={rec.accumulator}[{rec.slot}]\n")
+
+    for label, dx, dy in (
+        ("aligned (both block)", Block(N, PMAX), Block(N, PMAX)),
+        ("misaligned (block/scatter)", Block(N, PMAX), Scatter(N, PMAX)),
+    ):
+        env = {"s": np.zeros(1), "X": x.copy(), "Y": y.copy()}
+        decomps = {"s": SingleOwner(1, PMAX, 0), "X": dx, "Y": dy}
+        machine, path = run_clause_or_reduction(clause, decomps, env)
+        result = machine.collect("s")[0]
+        assert np.isclose(result, x @ y)
+        print(f"    {label:28s} path={path}  messages="
+              f"{machine.stats.total_messages():4d}  result OK")
+
+    print("\nthe serial accumulation became local folds plus a tree combine;")
+    print("misalignment only adds operand traffic, never changes the result.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+"""Dynamic decompositions: redistribute mid-computation, automatically.
+
+A two-phase pipeline on one distributed array:
+
+* phase 1 — a uniform sweep, best under *block* (contiguity, no traffic),
+* phase 2 — a shrinking-prefix workload, best under *scatter* (balance).
+
+Between the phases the array is redistributed by *generated* code derived
+purely from the two decomposition specifications — the automation the
+paper's introduction demands ("redistribution statements ... generated
+automatically", not intermingled with program code).
+
+Run:  python examples/dynamic_redistribution.py
+"""
+
+import numpy as np
+
+from repro import (
+    Block,
+    Clause,
+    IndexSet,
+    Ref,
+    Scatter,
+    SeparableMap,
+    compile_clause,
+    run_redistribution,
+)
+from repro.codegen.dist_tmpl import make_node_program
+from repro.core import AffineF, LoopIndex
+from repro.machine import DistributedMachine
+
+N = 240
+PMAX = 8
+
+
+def sweep_clause(n: int) -> Clause:
+    """A[i] := A[i] * 2 over the full range (uniform work)."""
+    a = Ref("A", SeparableMap([AffineF(1, 0)]))
+    return Clause(IndexSet.range1d(0, n - 1),
+                  Ref("A", SeparableMap([AffineF(1, 0)])), a * 2,
+                  name="sweep")
+
+
+def prefix_clause(hi: int) -> Clause:
+    """A[i] := A[i] + i over a prefix (front-loaded work)."""
+    a = Ref("A", SeparableMap([AffineF(1, 0)]))
+    return Clause(IndexSet.range1d(0, hi),
+                  Ref("A", SeparableMap([AffineF(1, 0)])),
+                  a + LoopIndex(0),
+                  name="prefix")
+
+
+def run_phase(machine, clause, dec):
+    plan = compile_clause(clause, {"A": dec})
+    machine.run(lambda ctx: make_node_program(plan, ctx))
+    return machine.stats.update_counts()
+
+
+def main() -> None:
+    rng = np.random.default_rng(1)
+    a0 = rng.random(N)
+    want = a0 * 2
+    hi = N // 4 - 1
+    want[: hi + 1] += np.arange(hi + 1)
+
+    machine = DistributedMachine(PMAX)
+    block, scatter = Block(N, PMAX), Scatter(N, PMAX)
+    machine.place("A", a0, block)
+
+    print(f"phase 1: uniform sweep under block (n={N}, pmax={PMAX})")
+    before = machine.stats.update_counts()
+    counts1 = run_phase(machine, sweep_clause(N), block)
+    print(f"    per-node updates: {counts1}")
+
+    print("\nredistribute block -> scatter (generated automatically):")
+    plan = run_redistribution(machine, "A", scatter)
+    print(f"    messages: {plan.message_count()}, "
+          f"elements moved: {plan.moved_elements()}, "
+          f"staying put: {plan.stay_elements()}")
+
+    print(f"\nphase 2: prefix workload 0:{hi} under scatter")
+    total_before = machine.stats.update_counts()
+    run_phase(machine, prefix_clause(hi), scatter)
+    phase2 = [a - b for a, b in zip(machine.stats.update_counts(),
+                                    total_before)]
+    print(f"    per-node updates: {phase2}  (balanced)")
+
+    result = machine.collect("A")
+    assert np.allclose(result, want)
+    print("\nfinal state matches the sequential pipeline:  OK")
+
+    # what the SAME phase-2 workload would have cost without redistribution
+    m2 = DistributedMachine(PMAX)
+    m2.place("A", a0, block)
+    run_phase(m2, sweep_clause(N), block)
+    base = m2.stats.update_counts()
+    run_phase(m2, prefix_clause(hi), block)
+    skew = [a - b for a, b in zip(m2.stats.update_counts(), base)]
+    print(f"\nfor comparison, phase 2 under the ORIGINAL block layout "
+          f"would put all the work on two nodes: {skew}")
+
+
+if __name__ == "__main__":
+    main()

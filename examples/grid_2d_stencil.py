@@ -1,0 +1,80 @@
+"""2-D decompositions: the surface-to-volume effect on a 5-point stencil.
+
+The d-dimensional lifting of the paper's framework: the same clause
+
+    ``T[i,j] := 0.25 * (S[i-1,j] + S[i+1,j] + S[i,j-1] + S[i,j+1])``
+
+runs under a 1-D row-strip decomposition and a 2-D square-tile grid of
+the same 16 processors.  Only the decomposition specification changes;
+the generated communication follows the partition surface.
+
+Run:  python examples/grid_2d_stencil.py
+"""
+
+import numpy as np
+
+from repro.codegen.nddist import (
+    collect_nd,
+    compile_clause_nd_dist,
+    run_distributed_nd,
+)
+from repro.core import (
+    AffineF,
+    Bounds,
+    Clause,
+    Const,
+    IdentityF,
+    IndexSet,
+    Ref,
+    SeparableMap,
+    copy_env,
+    evaluate_clause,
+)
+from repro.core.expr import BinOp
+from repro.decomp import Block, Collapsed, GridDecomposition
+
+N = 32
+P_SIDE = 4
+PMAX = 16
+
+
+def five_point() -> Clause:
+    def sref(di, dj):
+        fi = AffineF(1, di) if di else IdentityF()
+        fj = AffineF(1, dj) if dj else IdentityF()
+        return Ref("S", SeparableMap([fi, fj]))
+
+    rhs = BinOp("+", BinOp("+", sref(-1, 0), sref(1, 0)),
+                BinOp("+", sref(0, -1), sref(0, 1)))
+    return Clause(
+        IndexSet(Bounds((1, 1), (N - 2, N - 2))),
+        Ref("T", SeparableMap([IdentityF(), IdentityF()])),
+        BinOp("*", Const(0.25), rhs),
+    )
+
+
+def main() -> None:
+    rng = np.random.default_rng(21)
+    env0 = {"S": rng.random((N, N)), "T": np.zeros((N, N))}
+    clause = five_point()
+    ref = evaluate_clause(clause, copy_env(env0))["T"]
+
+    print(f"5-point stencil on a {N}x{N} grid, {PMAX} processors\n")
+    for label, g in (
+        ("1-D row strips ", GridDecomposition([Block(N, PMAX), Collapsed(N)])),
+        ("2-D square tiles", GridDecomposition([Block(N, P_SIDE),
+                                                Block(N, P_SIDE)])),
+    ):
+        plan = compile_clause_nd_dist(clause, {"T": g, "S": g})
+        m = run_distributed_nd(plan, copy_env(env0))
+        assert np.allclose(collect_nd(m, "T"), ref)
+        print(f"    {label}:  boundary elements exchanged = "
+              f"{m.stats.total_elements_moved():5d}   result OK")
+
+    print("\nsquare tiles exchange ~4N/sqrt(P) per node instead of ~2N —")
+    print("the surface-to-volume argument for multi-axis decompositions,")
+    print("expressed entirely in the decomposition specification.")
+
+
+if __name__ == "__main__":
+    main()

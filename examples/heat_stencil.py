@@ -1,0 +1,106 @@
+"""1-D heat diffusion: an iterated stencil under different decompositions.
+
+The canonical SPMD workload the data-decomposition literature motivates:
+repeatedly apply
+
+    U'[i] := U[i] + alpha * (U[i-1] - 2 U[i] + U[i+1])
+
+on a distributed machine.  The program text never changes; only the
+decomposition specification does — and the communication volume follows.
+Block decomposition turns the stencil into neighbour-boundary traffic;
+scatter makes every access remote, which is exactly the trade-off the
+paper's framework lets a compiler reason about.
+
+Run:  python examples/heat_stencil.py
+"""
+
+import numpy as np
+
+from repro import (
+    Block,
+    BlockScatter,
+    Clause,
+    IndexSet,
+    Ref,
+    Scatter,
+    SeparableMap,
+    compile_clause,
+    copy_env,
+    evaluate_clause,
+    run_distributed,
+)
+from repro.core import AffineF, BinOp, Const
+from repro.machine import DistributedMachine
+
+N = 256
+PMAX = 8
+ALPHA = 0.1
+STEPS = 10
+
+
+def stencil_clause(src: str, dst: str) -> Clause:
+    """dst[i] := src[i] + alpha (src[i-1] - 2 src[i] + src[i+1])."""
+    u_l = Ref(src, SeparableMap([AffineF(1, -1)]))
+    u_c = Ref(src, SeparableMap([AffineF(1, 0)]))
+    u_r = Ref(src, SeparableMap([AffineF(1, 1)]))
+    lap = BinOp("+", BinOp("-", u_l, BinOp("*", Const(2.0), u_c)), u_r)
+    return Clause(
+        domain=IndexSet.range1d(1, N - 2),
+        lhs=Ref(dst, SeparableMap([AffineF(1, 0)])),
+        rhs=BinOp("+", u_c, BinOp("*", Const(ALPHA), lap)),
+        name=f"heat:{src}->{dst}",
+    )
+
+
+def reference(u0: np.ndarray) -> np.ndarray:
+    u = u0.copy()
+    for _ in range(STEPS):
+        nxt = u.copy()
+        nxt[1:-1] = u[1:-1] + ALPHA * (u[:-2] - 2 * u[1:-1] + u[2:])
+        u = nxt
+    return u
+
+
+def run_with(mk_dec, label: str, u0: np.ndarray) -> None:
+    dec_u, dec_v = mk_dec(), mk_dec()
+    machine = DistributedMachine(PMAX)
+    machine.place("U", u0, dec_u)
+    machine.place("V", u0, dec_v)  # double buffer
+
+    plans = {
+        ("U", "V"): compile_clause(stencil_clause("U", "V"),
+                                   {"U": dec_u, "V": dec_v}),
+        ("V", "U"): compile_clause(stencil_clause("V", "U"),
+                                   {"V": dec_v, "U": dec_u}),
+    }
+    src, dst = "U", "V"
+    for _step in range(STEPS):
+        plan = plans[(src, dst)]
+        from repro.codegen.dist_tmpl import make_node_program
+
+        machine.run(lambda ctx, plan=plan: make_node_program(plan, ctx))
+        src, dst = dst, src
+
+    result = machine.collect(src)
+    want = reference(u0)
+    assert np.allclose(result, want), label
+    msgs = machine.stats.total_messages()
+    print(f"    {label:10s}  messages over {STEPS} steps: {msgs:6d}  "
+          f"(per step: {msgs / STEPS:7.1f})   result OK")
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    u0 = rng.random(N)
+    print(f"1-D heat equation, n={N}, pmax={PMAX}, {STEPS} steps\n")
+    print("  decomposition -> communication volume:")
+    run_with(lambda: Block(N, PMAX), "block", u0)
+    run_with(lambda: BlockScatter(N, PMAX, 8), "BS(8)", u0)
+    run_with(lambda: Scatter(N, PMAX), "scatter", u0)
+    print("\nblock decomposition exchanges only the 2(pmax-1) boundary")
+    print("elements per step; scatter pays for every interior access —")
+    print("the decomposition choice, not the program, decides the traffic.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""Distributed matrix-vector product: y = M x with block rows.
+
+A two-level demonstration:
+
+* the *front end* translates the nested-loop matvec into a 2-D V-cal
+  clause and the sequential evaluator provides the oracle;
+* the *machine layer* runs the classic SPMD matvec — block-distributed
+  rows, replicated x (the mpi4py tutorial's Allgather pattern without
+  the Allgather, because the paper's replicated decomposition makes the
+  vector resident everywhere).
+
+Run:  python examples/matvec_spmd.py
+"""
+
+import numpy as np
+
+from repro import (
+    Block,
+    Replicated,
+    copy_env,
+    evaluate_program,
+    translate_source,
+)
+from repro.decomp import Collapsed, GridDecomposition
+from repro.machine import DistributedMachine
+
+NROWS, NCOLS = 64, 48
+PMAX = 8
+
+MATVEC_SRC = """
+for i := 0 to nrows - 1 par do
+  for j := 0 to ncols - 1 seq do
+    y[i] := y[i] + M[i, j] * x[j];
+  od
+od
+"""
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    M = rng.random((NROWS, NCOLS))
+    x = rng.random(NCOLS)
+
+    # ---- front end: V-cal translation + sequential oracle ---------------
+    program = translate_source(
+        MATVEC_SRC, params={"nrows": NROWS, "ncols": NCOLS}
+    )
+    print("V-cal clause from the nested-loop source:")
+    print("   ", repr(program.clauses[0]))
+    env = {"y": np.zeros(NROWS), "M": M.copy(), "x": x.copy()}
+    evaluate_program(program, env)
+    assert np.allclose(env["y"], M @ x)
+    print("sequential V-cal evaluation matches numpy:  OK")
+
+    # ---- machine layer: SPMD matvec with block rows ----------------------
+    # Row decomposition of M via a grid: block rows x full columns.
+    grid = GridDecomposition([Block(NROWS, PMAX), Collapsed(NCOLS)])
+    dec_y = Block(NROWS, PMAX)
+    dec_x = Replicated(NCOLS, PMAX)
+
+    machine = DistributedMachine(PMAX)
+    machine.place("y", np.zeros(NROWS), dec_y)
+    machine.place("x", x, dec_x)
+    # place the matrix rows by hand through the grid decomposition
+    for p in range(PMAX):
+        rows = sorted({i for (i, _j) in grid.owned(p)})
+        machine.memories[p].arrays["M"] = M[rows, :].copy()
+
+    def node_program(ctx):
+        def gen():
+            p = ctx.p
+            local_rows = dec_y.owned(p)
+            Mp = ctx.mem["M"]
+            xp = ctx.mem["x"]  # replicated: always local
+            for k, i in enumerate(local_rows):
+                ctx.update("y", dec_y.local(i), float(Mp[k] @ xp))
+            yield ctx.barrier()
+        return gen()
+
+    machine.run(node_program)
+    y = machine.collect("y")
+    assert np.allclose(y, M @ x)
+    print(f"\nSPMD matvec ({NROWS}x{NCOLS} on {PMAX} nodes, block rows, "
+          f"replicated x):")
+    print(f"    messages: {machine.stats.total_messages()} "
+          f"(replication makes the vector free to read)")
+    print(f"    per-node row counts: "
+          f"{[len(dec_y.owned(p)) for p in range(PMAX)]}")
+    print("    result matches numpy:  OK")
+
+
+if __name__ == "__main__":
+    main()

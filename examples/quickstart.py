@@ -1,0 +1,93 @@
+"""Quickstart: from an imperative program to running SPMD node programs.
+
+The complete pipeline of the paper on its own Fig. 1 example:
+
+1. write a small imperative program (the paper's Fig. 1),
+2. translate it to a V-cal clause (Section 2.5),
+3. pick data decompositions *separately* from the program (Section 2.6),
+4. compile: the Table I optimizer chooses closed-form membership
+   enumerators (Section 3),
+5. generate and run SPMD node programs on the simulated shared- and
+   distributed-memory machines (Sections 2.9-2.10),
+6. check both against the sequential reference evaluator.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    Block,
+    Scatter,
+    compile_clause,
+    copy_env,
+    emit_distributed_source,
+    evaluate_program,
+    run_distributed,
+    run_shared,
+    translate_source,
+)
+
+SOURCE = """
+** Fig. 1 of the paper: a guarded gather through f(i) = 2i + 1
+for i := k + 1 to n - 1 par do
+    if A[i] > 0 then
+        A[i] := B[2 * i + 1];
+    fi;
+od;
+"""
+
+
+def main() -> None:
+    n, pmax = 24, 4
+    params = {"k": 2, "n": n}
+
+    # 1-2. parse + translate to V-cal
+    program = translate_source(SOURCE, params)
+    clause = program.clauses[0]
+    print("V-cal clause:")
+    print("   ", repr(clause))
+
+    # 3. decompositions, chosen independently of the program text
+    decomps = {
+        "A": Block(n, pmax),        # A block-distributed
+        "B": Scatter(2 * n, pmax),  # B cyclically distributed
+    }
+
+    # 4. compile — see which Table I rules fired
+    plan = compile_clause(clause, decomps)
+    print("\nTable I rules chosen by the optimizer:")
+    for access, rule in plan.rules().items():
+        print(f"    {access:12s} -> {rule}")
+
+    # data
+    rng = np.random.default_rng(0)
+    env0 = {
+        "A": rng.integers(-5, 5, n).astype(float),
+        "B": rng.random(2 * n),
+    }
+
+    # sequential reference (the oracle)
+    ref = evaluate_program(program, copy_env(env0))["A"]
+
+    # 5a. shared-memory SPMD
+    shared = run_shared(plan, copy_env(env0))
+    assert np.allclose(shared.env["A"], ref)
+    print(f"\nshared-memory run:       OK  "
+          f"(membership tests executed: {shared.stats.total_tests()})")
+
+    # 5b. distributed-memory SPMD
+    dist = run_distributed(plan, copy_env(env0))
+    assert np.allclose(dist.collect("A"), ref)
+    print(f"distributed-memory run:  OK  "
+          f"(messages: {dist.stats.total_messages()}, "
+          f"elements moved: {dist.stats.total_elements_moved()})")
+
+    # 6. the actual generated node program
+    print("\ngenerated distributed node program (one SPMD program, "
+          "parameterized by p = my_node):\n")
+    print(emit_distributed_source(plan))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Baselines: the unoptimized elementary SPMD programs of Section 3."""
+
+from .naive import make_naive_node_program, run_distributed_naive, run_shared_naive
+
+__all__ = ["run_shared_naive", "run_distributed_naive", "make_naive_node_program"]

@@ -1,0 +1,136 @@
+"""The unoptimized "elementary program" (paper Section 3 intro).
+
+This is the baseline every Section 3 optimization is measured against:
+node programs that loop over the **full** index range and decide
+membership with run-time ``proc(f(i)) = p`` tests — worst-case
+``imax - imin + 1`` iterations with tests per node while only
+``(imax - imin)/p`` indices are actually processed per node.
+
+Both machine models are provided; semantics are identical to the
+optimized templates, only the overhead differs, which is exactly what the
+E10 benchmark shows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.clause import Ordering
+from ..machine.distributed import DistributedMachine, NodeContext
+from ..machine.shared import SharedMachine
+from .. codegen.dist_tmpl import _eval_fetched, _read_value
+from ..codegen.plan import SPMDPlan
+
+__all__ = ["run_shared_naive", "run_distributed_naive", "make_naive_node_program"]
+
+
+def run_shared_naive(
+    plan: SPMDPlan,
+    env: Dict[str, np.ndarray],
+    machine: Optional[SharedMachine] = None,
+) -> SharedMachine:
+    """Section 2.9 template with run-time membership tests over the full
+    range on every node."""
+    if plan.clause.ordering is Ordering.SEQ:
+        raise NotImplementedError("naive baseline implements // clauses")
+    if machine is None:
+        machine = SharedMachine(plan.pmax, env)
+    clause = plan.clause
+
+    def phase(p: int) -> List[Tuple[str, int, float]]:
+        writes: List[Tuple[str, int, float]] = []
+        st = machine.stats[p]
+        for i in range(plan.imin, plan.imax + 1):
+            st.iterations += 1
+            st.membership_tests += 1
+            if not plan.write_replicated:
+                if plan.write_dec.proc(plan.write_func(i)) != p:
+                    continue
+            idx = (i,)
+            if clause.guard is not None and not clause.guard.eval(idx, machine.env):
+                continue
+            ai = clause.lhs.array_index(idx)[0]
+            writes.append((clause.lhs.name, ai, clause.rhs.eval(idx, machine.env)))
+        return writes
+
+    machine.run_phase(phase)
+    return machine
+
+
+def make_naive_node_program(plan: SPMDPlan, ctx: NodeContext) -> Generator:
+    """Distributed §2.10 template, literal form: one full-range loop with
+    the three membership cases tested per index."""
+
+    def program() -> Generator:
+        p = ctx.p
+        clause = plan.clause
+
+        # The paper's single All_p loop is split into a send sweep and an
+        # update sweep for the same deadlock-freedom reason as the
+        # optimized template; each sweep scans the FULL range and tests.
+        for read in plan.reads:
+            if read.always_local:
+                continue
+            for i in range(plan.imin, plan.imax + 1):
+                ctx.stats.iterations += 1
+                ctx.stats.membership_tests += 1
+                if read.dec.proc(read.func(i)) != p:
+                    continue  # not in Reside_p
+                for q in plan.writers_of(i):
+                    ctx.stats.membership_tests += 1
+                    if q != p:
+                        ctx.send(q, (read.pos, i), _read_value(ctx, read, i))
+
+        # Buffered writes: same //-independence discipline as the
+        # optimized template (see dist_tmpl).
+        pending = []
+        for i in range(plan.imin, plan.imax + 1):
+            ctx.stats.iterations += 1
+            ctx.stats.membership_tests += 1
+            if not plan.write_replicated:
+                if plan.write_dec.proc(plan.write_func(i)) != p:
+                    continue  # not in Modify_p
+            by_ref: Dict[int, float] = {}
+            for read in plan.reads:
+                ctx.stats.membership_tests += 1
+                if read.always_local or read.dec.proc(read.func(i)) == p:
+                    by_ref[id(read.ref)] = _read_value(ctx, read, i)
+                else:
+                    src = read.dec.proc(read.func(i))
+                    payload = yield ctx.recv(src, (read.pos, i))
+                    by_ref[id(read.ref)] = ctx.note_received(payload)
+            idx = (i,)
+            if clause.guard is not None and not _eval_fetched(
+                clause.guard, idx, by_ref
+            ):
+                continue
+            gi = plan.write_func(i)
+            slot = gi if plan.write_replicated else plan.write_dec.local(gi)
+            pending.append((slot, _eval_fetched(clause.rhs, idx, by_ref)))
+        for slot, value in pending:
+            ctx.update(plan.write_name, slot, value)
+
+        yield ctx.barrier()
+
+    return program()
+
+
+def run_distributed_naive(
+    plan: SPMDPlan,
+    env: Dict[str, np.ndarray],
+) -> DistributedMachine:
+    """Place, run, and return the machine for the naive distributed
+    template."""
+    if plan.clause.ordering is Ordering.SEQ:
+        raise NotImplementedError("naive baseline implements // clauses")
+    machine = DistributedMachine(plan.pmax)
+    all_decomps = {plan.write_name: plan.write_dec}
+    for read in plan.reads:
+        all_decomps[read.name] = read.dec
+    for name, arr in env.items():
+        if name in all_decomps:
+            machine.place(name, arr, all_decomps[name])
+    machine.run(lambda ctx: make_naive_node_program(plan, ctx))
+    return machine

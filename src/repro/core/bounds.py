@@ -1,0 +1,127 @@
+"""Bounded sets (paper Definition 1).
+
+A *bounded set* ``N_b`` with bound vector ``b = (l, u)`` is the Cartesian
+product ``N_1 x .. x N_d`` where ``N_i = { n | l_i <= n <= u_i }``.  Bound
+vectors support the ``&`` (intersection-of-bounds) operator used in view
+composition (Definition 5) and monotone transformation by ``dp`` functions.
+
+All index arithmetic in this package is exact integer arithmetic; nothing
+here touches floating point.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence, Tuple
+
+__all__ = ["Bounds", "EMPTY_1D"]
+
+
+def _as_tuple(v: int | Sequence[int]) -> Tuple[int, ...]:
+    if isinstance(v, int):
+        return (v,)
+    return tuple(int(x) for x in v)
+
+
+@dataclass(frozen=True)
+class Bounds:
+    """A bound vector ``b = (l, u)`` describing the bounded set ``N_b``.
+
+    ``lower`` and ``upper`` are d-tuples; the set is empty when
+    ``lower[i] > upper[i]`` in any dimension.  One-dimensional bounds may be
+    constructed from plain ints: ``Bounds(0, 9)``.
+    """
+
+    lower: Tuple[int, ...]
+    upper: Tuple[int, ...]
+
+    def __init__(self, lower: int | Sequence[int], upper: int | Sequence[int]):
+        lo, up = _as_tuple(lower), _as_tuple(upper)
+        if len(lo) != len(up):
+            raise ValueError(
+                f"lower/upper dimension mismatch: {len(lo)} vs {len(up)}"
+            )
+        object.__setattr__(self, "lower", lo)
+        object.__setattr__(self, "upper", up)
+
+    # -- basic queries ----------------------------------------------------
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality ``d`` of the bounded set."""
+        return len(self.lower)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when any dimension has an empty range."""
+        return any(l > u for l, u in zip(self.lower, self.upper))
+
+    def size(self) -> int:
+        """Number of points in the bounded set (0 if empty)."""
+        if self.is_empty:
+            return 0
+        n = 1
+        for l, u in zip(self.lower, self.upper):
+            n *= u - l + 1
+        return n
+
+    def __contains__(self, idx: int | Sequence[int]) -> bool:
+        t = _as_tuple(idx)
+        if len(t) != self.dim:
+            return False
+        return all(l <= x <= u for x, l, u in zip(t, self.lower, self.upper))
+
+    # -- iteration ---------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Tuple[int, ...]]:
+        """Lexicographic iteration over all points (the ``•`` order)."""
+        if self.is_empty:
+            return iter(())
+        ranges = [range(l, u + 1) for l, u in zip(self.lower, self.upper)]
+        return iter(itertools.product(*ranges))
+
+    def iter_scalar(self) -> Iterator[int]:
+        """Iterate a 1-D bounded set as plain ints."""
+        if self.dim != 1:
+            raise ValueError("iter_scalar requires a 1-D bounded set")
+        return iter(range(self.lower[0], self.upper[0] + 1))
+
+    # -- algebra -----------------------------------------------------------
+
+    def __and__(self, other: "Bounds") -> "Bounds":
+        """The ``&`` operator of Definition 4: bound vector of the
+        intersection of the two bounded sets."""
+        if self.dim != other.dim:
+            raise ValueError("cannot intersect bounds of different dimension")
+        lo = tuple(max(a, b) for a, b in zip(self.lower, other.lower))
+        up = tuple(min(a, b) for a, b in zip(self.upper, other.upper))
+        return Bounds(lo, up)
+
+    def normalized(self, points: Iterable[Sequence[int]]) -> "Bounds":
+        """The tightest (normalized, Example 1) bounds containing *points*.
+
+        Falls back to ``self`` when *points* is empty.
+        """
+        pts = [_as_tuple(p) for p in points]
+        if not pts:
+            return self
+        lo = tuple(min(p[i] for p in pts) for i in range(self.dim))
+        up = tuple(max(p[i] for p in pts) for i in range(self.dim))
+        return Bounds(lo, up)
+
+    def scalar(self) -> Tuple[int, int]:
+        """Return ``(lower, upper)`` of a 1-D bound as plain ints."""
+        if self.dim != 1:
+            raise ValueError("scalar() requires a 1-D bounded set")
+        return self.lower[0], self.upper[0]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.dim == 1:
+            return f"Bounds({self.lower[0]}:{self.upper[0]})"
+        ranges = "x".join(f"{l}:{u}" for l, u in zip(self.lower, self.upper))
+        return f"Bounds({ranges})"
+
+
+#: Canonical empty 1-D bounds (the paper's ``t_min = 0, t_max = -1``).
+EMPTY_1D = Bounds(0, -1)

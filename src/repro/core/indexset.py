@@ -1,0 +1,139 @@
+"""Index sets (paper Definition 2): a bounded set plus a predicate.
+
+``I = { i in N_b | P(i) }`` written ``I = (b, P)``.  Predicates compose with
+index-propagation functions during view composition (Definition 5):
+``P_u = (P_Kw ∘ ip_v) ∧ P_Kv``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Sequence, Tuple
+
+from .bounds import Bounds
+
+__all__ = ["Predicate", "TRUE", "IndexSet"]
+
+Index = Tuple[int, ...]
+
+
+class Predicate:
+    """A named predicate ``P: N^c -> bool`` over indices.
+
+    Wrapping the callable keeps composition inspectable (the paper reasons
+    symbolically about ``P ∘ ip``); ``name`` is purely diagnostic.
+    """
+
+    __slots__ = ("fn", "name")
+
+    def __init__(self, fn: Callable[[Index], bool], name: str = "P"):
+        self.fn = fn
+        self.name = name
+
+    def __call__(self, idx: Index) -> bool:
+        return bool(self.fn(idx))
+
+    def compose(self, ip: Callable[[Index], Index], ip_name: str = "ip") -> "Predicate":
+        """``P ∘ ip`` — the predicate pulled back through *ip*."""
+        return Predicate(lambda i: self.fn(ip(i)), f"{self.name}∘{ip_name}")
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        if self is TRUE:
+            return other
+        if other is TRUE:
+            return self
+        return Predicate(
+            lambda i: self.fn(i) and other.fn(i), f"({self.name})∧({other.name})"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Predicate({self.name})"
+
+
+#: The always-true predicate; identity of ``∧``.
+TRUE = Predicate(lambda i: True, "true")
+
+
+def _as_index(i: int | Sequence[int]) -> Index:
+    if isinstance(i, int):
+        return (i,)
+    return tuple(int(x) for x in i)
+
+
+class IndexSet:
+    """``I = (b, P)``: the indices of ``N_b`` satisfying ``P``.
+
+    Iteration is lexicographic, matching the ``•`` ordering; unordered
+    (``//``) consumers are free to ignore the order.
+    """
+
+    __slots__ = ("bounds", "predicate")
+
+    def __init__(self, bounds: Bounds, predicate: Predicate = TRUE):
+        self.bounds = bounds
+        self.predicate = predicate
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def range1d(cls, lo: int, hi: int, predicate: Predicate = TRUE) -> "IndexSet":
+        """The 1-D index set ``(lo:hi, P)``."""
+        return cls(Bounds(lo, hi), predicate)
+
+    @classmethod
+    def of_shape(cls, *extents: int) -> "IndexSet":
+        """Zero-based dense index set for an array of the given extents."""
+        lo = tuple(0 for _ in extents)
+        up = tuple(e - 1 for e in extents)
+        return cls(Bounds(lo, up))
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def dim(self) -> int:
+        return self.bounds.dim
+
+    def __contains__(self, i: int | Sequence[int]) -> bool:
+        idx = _as_index(i)
+        return idx in self.bounds and self.predicate(idx)
+
+    def __iter__(self) -> Iterator[Index]:
+        for idx in self.bounds:
+            if self.predicate(idx):
+                yield idx
+
+    def iter_scalar(self) -> Iterator[int]:
+        """Iterate a 1-D index set as plain ints."""
+        if self.dim != 1:
+            raise ValueError("iter_scalar requires a 1-D index set")
+        for (i,) in self:
+            yield i
+
+    def materialize(self) -> list[Index]:
+        """Enumerate every member (lexicographic)."""
+        return list(self)
+
+    def size(self) -> int:
+        """Number of members.  O(volume of the bounding box)."""
+        return sum(1 for _ in self)
+
+    def is_empty(self) -> bool:
+        return next(iter(self), None) is None
+
+    # -- algebra --------------------------------------------------------------
+
+    def restrict(self, predicate: Predicate) -> "IndexSet":
+        """Conjoin an extra predicate (used by guard conditions)."""
+        return IndexSet(self.bounds, self.predicate & predicate)
+
+    def intersect(self, other: "IndexSet") -> "IndexSet":
+        """Set intersection, as bounds-& plus predicate conjunction."""
+        return IndexSet(self.bounds & other.bounds, self.predicate & other.predicate)
+
+    def same_members(self, other: Iterable[Sequence[int]]) -> bool:
+        """Exact membership comparison against any iterable of indices."""
+        return self.materialize() == [
+            _as_index(i) for i in other
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"IndexSet({self.bounds!r}, {self.predicate.name})"

@@ -1,0 +1,184 @@
+"""Views and view composition (paper Definitions 3-5).
+
+A view ``V = (K, dp, ip)`` consists of an index set ``K``, a monotone
+function ``dp`` on bound vectors, and an integer total index-propagation
+function ``ip``.  Applying ``V`` to an index set ``I = (b_I, P_I)`` yields
+
+    ``J = (b_K & dp(b_I), (P_I ∘ ip) ∧ P_K)``        (Definition 4)
+
+and composition obeys (Definition 5)
+
+    ``ip_u = ip_w ∘ ip_v``, ``dp_u = dp_v ∘ dp_w``,
+    ``b_u = b_Kv & dp_v(b_Kw)``, ``P_u = (P_Kw ∘ ip_v) ∧ P_Kv``.
+
+Index-propagation functions over d-tuples are represented by
+:class:`SeparableMap` (one scalar :class:`~repro.core.ifunc.IFunc` per
+dimension — the class every Section 3 optimization applies to) or by
+:class:`GeneralMap` for arbitrary callables.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, Tuple
+
+from .bounds import Bounds
+from .ifunc import IFunc, IdentityF
+from .indexset import Index, IndexSet, Predicate, TRUE
+
+__all__ = [
+    "IndexMap",
+    "SeparableMap",
+    "ProjectedMap",
+    "GeneralMap",
+    "identity_map",
+    "View",
+]
+
+
+class IndexMap:
+    """Total integer function between index spaces (the ``ip`` of a view)."""
+
+    name: str = "ip"
+
+    def __call__(self, idx: Index) -> Index:
+        raise NotImplementedError
+
+    def compose(self, inner: "IndexMap") -> "IndexMap":
+        """``self ∘ inner``."""
+        return GeneralMap(lambda i: self(inner(i)), f"{self.name}∘{inner.name}")
+
+
+class SeparableMap(IndexMap):
+    """``ip(i_1,..,i_d) = (f_1(i_1),..,f_d(i_d))`` — one scalar function per
+    dimension.  This is the form the paper's compile-time optimizations
+    analyse; :meth:`dim_func` hands each dimension's function to Table I.
+    """
+
+    def __init__(self, funcs: Sequence[IFunc]):
+        self.funcs: Tuple[IFunc, ...] = tuple(funcs)
+        self.name = "(" + ",".join(f.name for f in self.funcs) + ")"
+
+    @property
+    def dim(self) -> int:
+        return len(self.funcs)
+
+    def dim_func(self, d: int) -> IFunc:
+        return self.funcs[d]
+
+    def __call__(self, idx: Index) -> Index:
+        if len(idx) != len(self.funcs):
+            raise ValueError(
+                f"index arity {len(idx)} != map arity {len(self.funcs)}"
+            )
+        return tuple(f(i) for f, i in zip(self.funcs, idx))
+
+    def compose(self, inner: "IndexMap") -> "IndexMap":
+        if isinstance(inner, SeparableMap):
+            if inner.dim != self.dim:
+                raise ValueError("arity mismatch in separable composition")
+            return SeparableMap(
+                tuple(fo.compose(fi) for fo, fi in zip(self.funcs, inner.funcs))
+            )
+        return super().compose(inner)
+
+
+class ProjectedMap(IndexMap):
+    """``ip(i_0,..,i_{d-1}) = (f_1(i_{dims[1]}), .., f_k(i_{dims[k]}))`` —
+    each output dimension draws from one chosen input dimension.
+
+    Generalizes :class:`SeparableMap` to references of lower rank than the
+    loop nest (``y[i]`` inside an ``(i, j)`` loop) and to transposed
+    accesses (``B[j, i]``).
+    """
+
+    def __init__(self, dims: Sequence[int], funcs: Sequence[IFunc]):
+        if len(dims) != len(funcs):
+            raise ValueError("dims/funcs length mismatch")
+        self.dims: Tuple[int, ...] = tuple(dims)
+        self.funcs: Tuple[IFunc, ...] = tuple(funcs)
+        inner = ",".join(
+            f"{f.name}@i{d}" for d, f in zip(self.dims, self.funcs)
+        )
+        self.name = f"({inner})"
+
+    def __call__(self, idx: Index) -> Index:
+        return tuple(f(idx[d]) for d, f in zip(self.dims, self.funcs))
+
+    def dim_func(self, k: int) -> IFunc:
+        return self.funcs[k]
+
+
+class GeneralMap(IndexMap):
+    """Arbitrary callable index map (no closed-form optimization)."""
+
+    def __init__(self, fn: Callable[[Index], Index], name: str = "ip"):
+        self.fn = fn
+        self.name = name
+
+    def __call__(self, idx: Index) -> Index:
+        return tuple(self.fn(idx))
+
+
+def identity_map(dim: int) -> SeparableMap:
+    """The ``id`` map of Definition 5, for *dim* dimensions."""
+    return SeparableMap(tuple(IdentityF() for _ in range(dim)))
+
+
+def _identity_dp(b: Bounds) -> Bounds:
+    return b
+
+
+class View:
+    """A view ``V = (K, dp, ip)`` (Definition 4)."""
+
+    __slots__ = ("K", "dp", "ip", "dp_name")
+
+    def __init__(
+        self,
+        K: IndexSet,
+        ip: IndexMap,
+        dp: Callable[[Bounds], Bounds] = _identity_dp,
+        dp_name: str = "id",
+    ):
+        self.K = K
+        self.ip = ip
+        self.dp = dp
+        self.dp_name = dp_name
+
+    # -- application (Definition 4) ------------------------------------------
+
+    def apply(self, I: IndexSet) -> IndexSet:
+        """``V(I) = (b_K & dp(b_I), (P_I ∘ ip) ∧ P_K)``."""
+        b = self.K.bounds & self.dp(I.bounds)
+        pred = I.predicate.compose(self.ip, self.ip.name) & self.K.predicate
+        return IndexSet(b, pred)
+
+    def __call__(self, I: IndexSet) -> IndexSet:
+        return self.apply(I)
+
+    def select(self, j: Index) -> Index:
+        """Single index selection ``[ip(j)]`` (Definition 3)."""
+        return self.ip(j)
+
+    # -- composition (Definition 5) --------------------------------------------
+
+    def compose(self, other: "View") -> "View":
+        """``U = self ∘ other``: ``ip_u = ip_w ∘ ip_v`` with ``v = self``,
+        ``w = other`` (matching paper Example 5's orientation)."""
+        v, w = self, other
+        ip_u = w.ip.compose(v.ip)
+        dp_u = lambda b, v=v, w=w: v.dp(w.dp(b))  # noqa: E731
+        b_u = v.K.bounds & v.dp(w.K.bounds)
+        P_u = w.K.predicate.compose(v.ip, v.ip.name) & v.K.predicate
+        return View(
+            IndexSet(b_u, P_u),
+            ip_u,
+            dp_u,
+            dp_name=f"{v.dp_name}∘{w.dp_name}",
+        )
+
+    def __matmul__(self, other: "View") -> "View":
+        return self.compose(other)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"View(K={self.K!r}, dp={self.dp_name}, ip={self.ip.name})"

@@ -1,0 +1,97 @@
+"""Dynamic decompositions: automatically generated redistribution plans.
+
+The paper's introduction criticizes systems where "redistribution
+statements are not generated automatically and are intermingled with the
+program code" and lists dynamic decompositions as the target of further
+research (Section 5).  We implement the natural V-cal answer: given a
+source decomposition ``D1`` and target ``D2`` of the same structure, the
+communication set is derived purely from the two views —
+
+    element ``i`` moves ``D1.place(i) -> D2.place(i)`` whenever the owning
+    processors differ,
+
+and per-processor-pair transfers are coalesced into messages.  The plan is
+machine-independent data; :mod:`repro.codegen.redistribute` turns it into
+node programs for the simulated machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from .base import Decomposition
+
+__all__ = ["Transfer", "RedistributionPlan", "plan_redistribution"]
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """One element's move: global index plus source/target placements."""
+
+    global_index: int
+    src_proc: int
+    src_local: int
+    dst_proc: int
+    dst_local: int
+
+
+@dataclass
+class RedistributionPlan:
+    """All transfers needed to change a structure from ``src`` to ``dst``.
+
+    ``messages[(p, q)]`` lists the (src_local, dst_local, global_index)
+    triples processor ``p`` must ship to processor ``q``; ``stay[p]`` lists
+    the (src_local, dst_local) pairs that merely move within ``p``'s own
+    memory.
+    """
+
+    src: Decomposition
+    dst: Decomposition
+    messages: Dict[Tuple[int, int], List[Tuple[int, int, int]]] = field(
+        default_factory=dict
+    )
+    stay: Dict[int, List[Tuple[int, int]]] = field(default_factory=dict)
+
+    # -- statistics the benchmarks report ---------------------------------
+
+    def moved_elements(self) -> int:
+        return sum(len(v) for v in self.messages.values())
+
+    def message_count(self) -> int:
+        return len(self.messages)
+
+    def stay_elements(self) -> int:
+        return sum(len(v) for v in self.stay.values())
+
+    def volume_by_pair(self) -> Dict[Tuple[int, int], int]:
+        return {k: len(v) for k, v in self.messages.items()}
+
+    def max_fan_out(self) -> int:
+        """Largest number of distinct destinations any processor sends to."""
+        fan: Dict[int, int] = {}
+        for (p, _q) in self.messages:
+            fan[p] = fan.get(p, 0) + 1
+        return max(fan.values(), default=0)
+
+
+def plan_redistribution(src: Decomposition, dst: Decomposition) -> RedistributionPlan:
+    """Derive the full redistribution plan ``src -> dst``.
+
+    Both decompositions must cover the same global range.  O(n).
+    """
+    if src.n != dst.n:
+        raise ValueError(f"size mismatch: src n={src.n}, dst n={dst.n}")
+    if src.pmax != dst.pmax:
+        raise ValueError(
+            f"processor count mismatch: src pmax={src.pmax}, dst pmax={dst.pmax}"
+        )
+    plan = RedistributionPlan(src, dst)
+    for i in range(src.n):
+        sp, sl = src.place(i)
+        dp, dl = dst.place(i)
+        if sp == dp:
+            plan.stay.setdefault(sp, []).append((sl, dl))
+        else:
+            plan.messages.setdefault((sp, dp), []).append((sl, dl, i))
+    return plan

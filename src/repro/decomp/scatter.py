@@ -1,0 +1,41 @@
+"""Scatter (cyclic) decomposition (paper Section 3.2.iii, Fig. 2c).
+
+``BS(1)``: element *i* lives on processor ``i mod pmax`` at local slot
+``i div pmax``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .blockscatter import BlockScatter
+
+__all__ = ["Scatter"]
+
+
+class Scatter(BlockScatter):
+    """Cyclic decomposition: ``proc(i) = i mod pmax``,
+    ``local(i) = i div pmax``."""
+
+    kind = "scatter"
+
+    def __init__(self, n: int, pmax: int):
+        super().__init__(n, pmax, 1)
+
+    def proc(self, i: int) -> int:
+        return i % self.pmax
+
+    def local(self, i: int) -> int:
+        return i // self.pmax
+
+    def global_index(self, p: int, l: int) -> int:
+        i = l * self.pmax + p
+        if not (0 <= i < self.n):
+            raise KeyError(f"no global element at (p={p}, l={l})")
+        return i
+
+    def owned(self, p: int) -> List[int]:
+        return list(range(p, self.n, self.pmax))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Scatter(n={self.n}, pmax={self.pmax})"

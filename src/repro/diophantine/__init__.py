@@ -1,0 +1,20 @@
+"""Number-theoretic substrate for the Theorem 3 optimizations (paper §3-4)."""
+
+from .euclid import EuclidResult, extended_euclid, gcd_steps, knuth_step_bound
+from .linear import (
+    CongruenceSolution,
+    active_processors,
+    bezout_constant,
+    solve_scatter_congruence,
+)
+
+__all__ = [
+    "EuclidResult",
+    "extended_euclid",
+    "gcd_steps",
+    "knuth_step_bound",
+    "CongruenceSolution",
+    "solve_scatter_congruence",
+    "bezout_constant",
+    "active_processors",
+]

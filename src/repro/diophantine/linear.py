@@ -1,0 +1,122 @@
+"""Linear diophantine solver for Theorem 3 (scatter + linear access).
+
+Under scatter decomposition, processor ``p`` executes index ``i`` iff
+``f(i) mod pmax = p`` with ``f(i) = a.i + c``, i.e. iff the linear
+diophantine equation
+
+    ``a.i - pmax.k = p - c``                                    (paper Eq. 4)
+
+has a solution.  With ``g = gcd(a, pmax)`` a solution exists iff
+``g | (p - c)``; the solutions in ``i`` form the arithmetic progression
+
+    ``i = x_p + (pmax/g).t``,  ``t = 0, ±1, ±2, ...``           (paper Eq. 5)
+
+where the particular solution is ``x_p = δ_p . C(a, pmax)`` with
+``δ_p = (p - c)/g`` and ``C(a, pmax)`` the Bézout coefficient of ``a``
+(solving ``a.i - pmax.k = g``), independent of ``p`` (paper Eq. 6).
+
+Consequently the active processors are exactly ``p ≡ c (mod g)`` — every
+``g``-th processor — and consecutive active processors differ by
+``δ_p ± 1``, the Section 4 observation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .euclid import extended_euclid
+
+__all__ = ["CongruenceSolution", "solve_scatter_congruence", "bezout_constant", "active_processors"]
+
+
+def bezout_constant(a: int, pmax: int) -> int:
+    """``C(a, pmax)``: an ``i`` with ``a.i ≡ gcd(a, pmax) (mod pmax)``.
+
+    Found once per (a, pmax) pair by extended Euclid; reused for every
+    processor (paper Eq. 6).
+    """
+    if a == 0:
+        raise ValueError("a must be non-zero")
+    res = extended_euclid(abs(a), pmax)
+    x = res.x if a > 0 else -res.x
+    return x
+
+
+@dataclass(frozen=True)
+class CongruenceSolution:
+    """Solution of ``a.i ≡ p - c (mod pmax)`` in closed form.
+
+    ``x0`` is the smallest particular solution in ``[0, stride)``;
+    all solutions are ``x0 + stride.t``.
+    """
+
+    a: int
+    c: int
+    pmax: int
+    p: int
+    g: int
+    x0: int
+    stride: int
+    euclid_steps: int
+
+    def solutions_in(self, imin: int, imax: int) -> List[int]:
+        """All solutions within ``[imin, imax]``, increasing."""
+        if imin > imax:
+            return []
+        # first t with x0 + stride*t >= imin
+        t0 = -((self.x0 - imin) // self.stride)
+        out = []
+        i = self.x0 + self.stride * t0
+        while i <= imax:
+            if i >= imin:
+                out.append(i)
+            i += self.stride
+        return out
+
+    def t_range(self, imin: int, imax: int) -> tuple[int, int]:
+        """The paper's ``(t_min, t_max)`` such that ``gen(t) = x0 + stride.t``
+        covers exactly the solutions in ``[imin, imax]``."""
+        # ceil((imin - x0)/stride) .. floor((imax - x0)/stride)
+        q, r = divmod(imin - self.x0, self.stride)
+        tmin = q + (1 if r else 0)
+        tmax = (imax - self.x0) // self.stride
+        return tmin, tmax
+
+    def gen(self, t: int) -> int:
+        return self.x0 + self.stride * t
+
+
+def solve_scatter_congruence(
+    a: int, c: int, pmax: int, p: int
+) -> Optional[CongruenceSolution]:
+    """Solve ``a.i + c ≡ p (mod pmax)`` for ``i``.
+
+    Returns ``None`` when no solution exists — the paper's "that particular
+    processor is not to execute any code".
+    """
+    if a == 0:
+        raise ValueError("a must be non-zero (use Theorem 1 for constants)")
+    if pmax < 1:
+        raise ValueError("pmax must be >= 1")
+    res = extended_euclid(abs(a), pmax)
+    g = res.g
+    rhs = p - c
+    if rhs % g:
+        return None
+    stride = pmax // g
+    # Bézout: abs(a).x + pmax.y = g  =>  a.(±x).(rhs/g) ≡ rhs (mod pmax)
+    x = res.x if a > 0 else -res.x
+    x0 = (x * (rhs // g)) % stride
+    return CongruenceSolution(
+        a=a, c=c, pmax=pmax, p=p, g=g, x0=x0, stride=stride,
+        euclid_steps=res.steps,
+    )
+
+
+def active_processors(a: int, c: int, pmax: int) -> List[int]:
+    """Processors that execute any index at all: ``p ≡ c (mod gcd(a, pmax))``
+    (Section 4's ``p_j = p_i ± gcd(a, pmax)`` spacing)."""
+    g = extended_euclid(abs(a), pmax).g
+    start = c % g
+    return list(range(start, pmax, g))

@@ -1,0 +1,77 @@
+"""Lexer for the Fig. 1 imperative mini-language.
+
+Comments run from ``**`` to end of line (the paper's pseudo-code comment
+style) or from ``#``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from .tokens import KEYWORDS, SYMBOLS, Token
+
+__all__ = ["LexError", "tokenize"]
+
+
+class LexError(SyntaxError):
+    """Unrecognized input character."""
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize *source*; the final token is always ``eof``."""
+    out: List[Token] = []
+    line, col = 1, 1
+    i, n = 0, len(source)
+
+    def peek(ahead: int = 0) -> str:
+        j = i + ahead
+        return source[j] if j < n else ""
+
+    while i < n:
+        ch = source[i]
+        # whitespace
+        if ch == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        if ch.isspace():
+            i += 1
+            col += 1
+            continue
+        # comments: '**' or '#' to end of line
+        if ch == "#" or (ch == "*" and peek(1) == "*"):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        # numbers
+        if ch.isdigit():
+            start = i
+            while i < n and source[i].isdigit():
+                i += 1
+            out.append(Token("num", int(source[start:i]), line, col))
+            col += i - start
+            continue
+        # identifiers / keywords
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            word = source[start:i]
+            kind = "kw" if word in KEYWORDS else "ident"
+            out.append(Token(kind, word, line, col))
+            col += i - start
+            continue
+        # symbols (longest match first)
+        for sym in SYMBOLS:
+            if source.startswith(sym, i):
+                out.append(Token("sym", sym, line, col))
+                i += len(sym)
+                col += len(sym)
+                break
+        else:
+            raise LexError(
+                f"unexpected character {ch!r} at line {line}, column {col}"
+            )
+    out.append(Token("eof", None, line, col))
+    return out

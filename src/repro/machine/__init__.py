@@ -1,0 +1,38 @@
+"""Simulated parallel machines (paper Sections 2.9-2.10; see DESIGN.md
+for the substitution rationale — this stands in for physical shared- and
+distributed-memory hardware)."""
+
+from .channels import Message, Network
+from .costmodel import ETHERNET_CLUSTER, HYPERCUBE, SHARED_BUS, CostModel
+from .distributed import DistributedMachine, NodeContext
+from .memory import LocalMemory, gather_global, scatter_global
+from .scheduler import Barrier, DeadlockError, Recv, TraceEvent, Yield, run_spmd
+from .trace import activity_spans, overlap_factor, render_timeline
+from .shared import SharedMachine
+from .stats import MachineStats, NodeStats
+
+__all__ = [
+    "Network",
+    "Message",
+    "CostModel",
+    "ETHERNET_CLUSTER",
+    "HYPERCUBE",
+    "SHARED_BUS",
+    "LocalMemory",
+    "scatter_global",
+    "gather_global",
+    "Recv",
+    "Barrier",
+    "Yield",
+    "DeadlockError",
+    "run_spmd",
+    "TraceEvent",
+    "activity_spans",
+    "overlap_factor",
+    "render_timeline",
+    "DistributedMachine",
+    "NodeContext",
+    "SharedMachine",
+    "MachineStats",
+    "NodeStats",
+]

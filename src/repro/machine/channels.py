@@ -1,0 +1,85 @@
+"""Message channels: non-blocking send, blocking receive (paper §2.10).
+
+The paper's distributed template assumes "a virtual machine that has
+non-blocking sends and blocking receives".  :class:`Network` provides
+exactly that: per (source, destination) FIFO queues with unbounded
+buffering (sends always complete immediately), tagged messages, and a
+``try_recv`` that the scheduler uses to decide whether a blocked node can
+resume.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, Hashable, Optional, Tuple
+
+__all__ = ["Message", "Network"]
+
+Tag = Hashable
+
+
+@dataclass(frozen=True)
+class Message:
+    src: int
+    dst: int
+    tag: Tag
+    payload: Any
+
+
+class Network:
+    """FIFO channels between every ordered pair of nodes."""
+
+    def __init__(self, pmax: int):
+        self.pmax = pmax
+        self._queues: Dict[Tuple[int, int], Deque[Message]] = {}
+        self.total_messages = 0
+
+    def _q(self, src: int, dst: int) -> Deque[Message]:
+        key = (src, dst)
+        q = self._queues.get(key)
+        if q is None:
+            q = deque()
+            self._queues[key] = q
+        return q
+
+    def _check(self, p: int, role: str) -> None:
+        if not (0 <= p < self.pmax):
+            raise IndexError(f"{role} {p} out of range 0:{self.pmax - 1}")
+
+    def send(self, src: int, dst: int, tag: Tag, payload: Any) -> None:
+        """Non-blocking send: enqueue and return immediately."""
+        self._check(src, "source")
+        self._check(dst, "destination")
+        self._q(src, dst).append(Message(src, dst, tag, payload))
+        self.total_messages += 1
+
+    def try_recv(self, dst: int, src: int, tag: Tag) -> Optional[Message]:
+        """Receive the matching message if already delivered, else None.
+
+        Matching is FIFO *per tag* within the (src, dst) channel: the first
+        queued message with the requested tag is taken, so differently
+        tagged traffic cannot block a receive it does not match.
+        """
+        q = self._q(src, dst)
+        for k, msg in enumerate(q):
+            if msg.tag == tag:
+                del q[k]
+                return msg
+        return None
+
+    def pending(self) -> int:
+        """Messages sent but not yet received."""
+        return sum(len(q) for q in self._queues.values())
+
+    def pending_for(self, dst: int) -> int:
+        return sum(len(q) for (s, d), q in self._queues.items() if d == dst)
+
+    def drain_check(self) -> None:
+        """Raise if undelivered messages remain (run-end sanity check)."""
+        left = self.pending()
+        if left:
+            detail = {
+                k: [m.tag for m in q] for k, q in self._queues.items() if q
+            }
+            raise AssertionError(f"{left} undelivered message(s): {detail}")

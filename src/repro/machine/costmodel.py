@@ -1,0 +1,81 @@
+"""Analytic cost model over machine statistics.
+
+The simulator counts *events* (iterations, membership tests, messages,
+elements, barriers); a :class:`CostModel` assigns each event class a time
+and turns a run's :class:`~repro.machine.stats.MachineStats` into modeled
+per-node times, a makespan, and a speedup against the sequential
+execution — the quantities 1991 papers plot.  Three presets bracket the
+era's machines:
+
+* ``ETHERNET_CLUSTER``  — huge message latency, cheap compute;
+* ``HYPERCUBE``         — moderate latency (the iPSC-class machines the
+  paper's distributed template targets);
+* ``SHARED_BUS``        — no messages, barriers dominate.
+
+All numbers are in arbitrary time units; only *ratios* matter, and the
+benchmarks only assert shape (who wins, where crossovers fall).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from .stats import MachineStats, NodeStats
+
+__all__ = ["CostModel", "ETHERNET_CLUSTER", "HYPERCUBE", "SHARED_BUS"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-event time coefficients."""
+
+    name: str
+    t_update: float = 1.0      # one element update (compute)
+    t_iteration: float = 0.2   # loop bookkeeping per iteration
+    t_test: float = 0.5        # one run-time membership test
+    alpha: float = 50.0        # per-message latency
+    beta: float = 1.0          # per-element transfer time
+    t_barrier: float = 20.0    # one barrier participation
+
+    def node_time(self, s: NodeStats) -> float:
+        """Modeled busy time of one node."""
+        return (
+            self.t_update * s.local_updates
+            + self.t_iteration * s.iterations
+            + self.t_test * s.membership_tests
+            + self.alpha * (s.sends + s.recvs)
+            + self.beta * (s.elements_sent + s.elements_received)
+            + self.t_barrier * s.barriers
+        )
+
+    def node_times(self, stats: MachineStats) -> List[float]:
+        return [self.node_time(s) for s in stats.nodes]
+
+    def makespan(self, stats: MachineStats) -> float:
+        """Modeled parallel completion time (critical-node approximation:
+        the busiest node bounds the run)."""
+        times = self.node_times(stats)
+        return max(times) if times else 0.0
+
+    def sequential_time(self, useful_updates: int,
+                        iterations: int | None = None) -> float:
+        """Modeled uniprocessor time for the same useful work (no tests,
+        no messages, no barriers)."""
+        it = useful_updates if iterations is None else iterations
+        return self.t_update * useful_updates + self.t_iteration * it
+
+    def speedup(self, stats: MachineStats,
+                useful_updates: int | None = None) -> float:
+        """Modeled speedup vs the sequential execution of the same work."""
+        updates = (stats.total_updates() if useful_updates is None
+                   else useful_updates)
+        seq = self.sequential_time(updates)
+        mk = self.makespan(stats)
+        return seq / mk if mk else float("inf")
+
+
+ETHERNET_CLUSTER = CostModel("ethernet-cluster", alpha=500.0, beta=5.0,
+                             t_barrier=200.0)
+HYPERCUBE = CostModel("hypercube", alpha=50.0, beta=1.0, t_barrier=20.0)
+SHARED_BUS = CostModel("shared-bus", alpha=0.0, beta=0.0, t_barrier=5.0)

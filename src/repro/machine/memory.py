@@ -1,0 +1,110 @@
+"""Per-node local memories and decomposition-aware load/store.
+
+``A'`` — the machine image of a decomposed structure ``A`` (paper Eq. (2))
+— materializes here as one local numpy array per processor, indexed by the
+decomposition's ``local`` function.  ``scatter_global``/``gather_global``
+move whole structures between the global (host) view and the node
+memories, which is how experiment harnesses initialize and check runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+from ..decomp.base import Decomposition
+from ..decomp.overlap import OverlappedBlock
+from ..decomp.replicated import Replicated
+
+__all__ = ["LocalMemory", "scatter_global", "gather_global"]
+
+
+class LocalMemory:
+    """Named local arrays of one node."""
+
+    def __init__(self, p: int):
+        self.p = p
+        self.arrays: Dict[str, np.ndarray] = {}
+
+    def alloc(self, name: str, size: int, dtype=np.float64) -> np.ndarray:
+        arr = np.zeros(max(size, 0), dtype=dtype)
+        self.arrays[name] = arr
+        return arr
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self.arrays[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.arrays
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(f"{k}[{v.size}]" for k, v in self.arrays.items())
+        return f"LocalMemory(p={self.p}: {inner})"
+
+
+def scatter_global(
+    name: str,
+    global_array: np.ndarray,
+    d: Decomposition,
+    memories: List[LocalMemory],
+) -> None:
+    """Distribute *global_array* into the node memories according to *d*.
+
+    Replicated structures are copied whole to every node; overlapped
+    blocks also fill their halo copies (so a run starts halo-consistent).
+    """
+    if len(global_array) != d.n:
+        raise ValueError(
+            f"array {name!r} has {len(global_array)} elements, decomposition "
+            f"covers {d.n}"
+        )
+    if isinstance(d, Replicated):
+        for mem in memories:
+            mem.arrays[name] = np.array(global_array, copy=True)
+        return
+    if isinstance(d, OverlappedBlock):
+        for p, mem in enumerate(memories):
+            lo, hi = d.resident_range(p)
+            size = max(0, hi - lo + 1)
+            local = mem.alloc(name, size, dtype=global_array.dtype)
+            if size:
+                local[:] = global_array[lo : hi + 1]
+        return
+    for p, mem in enumerate(memories):
+        local = mem.alloc(name, d.local_size(p), dtype=global_array.dtype)
+        for i in d.owned(p):
+            local[d.local(i)] = global_array[i]
+
+
+def gather_global(
+    name: str,
+    d: Decomposition,
+    memories: List[LocalMemory],
+    dtype=np.float64,
+) -> np.ndarray:
+    """Reassemble the global view of a decomposed structure.
+
+    For replicated structures node 0's copy is returned (all copies are
+    asserted identical — a write-all-copies invariant check).
+    """
+    if isinstance(d, Replicated):
+        ref = memories[0][name]
+        for mem in memories[1:]:
+            if not np.array_equal(mem[name], ref):
+                raise AssertionError(
+                    f"replicated array {name!r} diverged between nodes"
+                )
+        return np.array(ref, copy=True)
+    out = np.zeros(d.n, dtype=dtype)
+    if isinstance(d, OverlappedBlock):
+        for p, mem in enumerate(memories):
+            local = mem[name]
+            for i in d.owned(p):
+                out[i] = local[d.local_slot(p, i)]
+        return out
+    for p, mem in enumerate(memories):
+        local = mem[name]
+        for i in d.owned(p):
+            out[i] = local[d.local(i)]
+    return out

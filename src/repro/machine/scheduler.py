@@ -1,0 +1,184 @@
+"""Cooperative scheduler for SPMD node programs.
+
+A *node program* is a Python generator: it runs until it needs the
+machine — a blocking receive or a barrier — and yields a request object.
+The scheduler resumes it when the request can be satisfied:
+
+* ``Recv(src, tag)``   — resumed with the message payload once delivered;
+* ``Barrier()``        — resumed when all *live* nodes reach the barrier
+  (nodes that already terminated no longer participate);
+* ``Yield()``          — resumed on the next round (cooperative pause).
+
+Scheduling is deterministic round-robin, so simulated runs are exactly
+reproducible.  If every live node is blocked and no request can be
+satisfied the scheduler raises :class:`DeadlockError` with a per-node
+diagnosis — the simulator's replacement for a hung MPI job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, Hashable, List, Optional
+
+from .channels import Network
+from .stats import MachineStats
+
+__all__ = ["Recv", "Barrier", "Yield", "DeadlockError", "TraceEvent",
+           "run_spmd"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One scheduler observation: node *p* did *kind* in logical *round*.
+
+    Kinds: ``"step"`` (resumed and ran to its next request), ``"recv"``
+    (a blocking receive was satisfied), ``"barrier"`` (released from a
+    barrier), ``"retire"`` (program finished).
+    """
+
+    round: int
+    p: int
+    kind: str
+
+
+@dataclass(frozen=True)
+class Recv:
+    """Blocking receive request: wait for (src, tag)."""
+
+    src: int
+    tag: Hashable
+
+
+@dataclass(frozen=True)
+class Barrier:
+    """Global barrier request."""
+
+
+@dataclass(frozen=True)
+class Yield:
+    """Voluntary reschedule (lets other nodes progress)."""
+
+
+NodeGen = Generator[Any, Any, None]
+
+
+class DeadlockError(RuntimeError):
+    """All live nodes blocked with nothing deliverable."""
+
+
+def run_spmd(
+    programs: List[NodeGen],
+    network: Network,
+    stats: Optional[MachineStats] = None,
+    max_rounds: int = 10_000_000,
+    trace: Optional[List["TraceEvent"]] = None,
+) -> None:
+    """Run one generator per node to completion.
+
+    ``programs[p]`` is node *p*'s program.  The network must be the one the
+    programs' sends go through (they capture it via closure/context).
+    With *trace* (a list), a :class:`TraceEvent` is appended per
+    scheduler observation — the raw material for pipeline/overlap
+    analysis (:mod:`repro.machine.trace`).
+    """
+    pmax = len(programs)
+    live: Dict[int, NodeGen] = dict(enumerate(programs))
+    waiting: Dict[int, Any] = {}  # p -> pending request
+    send_value: Dict[int, Any] = {}  # p -> value to send into the generator
+    at_barrier: set[int] = set()
+
+    def emit(round_, p, kind):
+        if trace is not None:
+            trace.append(TraceEvent(round_, p, kind))
+
+    # Start every program to its first request.
+    for p in list(live):
+        _advance(p, live, waiting, None, stats)
+        emit(0, p, "step" if p in live else "retire")
+
+    rounds = 0
+    while live:
+        rounds += 1
+        if rounds > max_rounds:
+            raise RuntimeError("scheduler exceeded max_rounds; runaway program?")
+        progressed = False
+
+        # Barrier release: every live node is at the barrier.
+        if at_barrier and at_barrier == set(live):
+            for p in sorted(at_barrier):
+                if stats is not None:
+                    stats[p].barriers += 1
+                waiting.pop(p, None)
+                send_value[p] = None
+            at_barrier.clear()
+            for p in sorted(live):
+                emit(rounds, p, "barrier")
+                _advance(p, live, waiting, send_value.pop(p, None), stats)
+                if p not in live:
+                    emit(rounds, p, "retire")
+            progressed = True
+            continue
+
+        for p in sorted(live):
+            req = waiting.get(p)
+            if isinstance(req, Recv):
+                msg = network.try_recv(p, req.src, req.tag)
+                if msg is not None:
+                    if stats is not None:
+                        stats[p].recvs += 1
+                    waiting.pop(p)
+                    emit(rounds, p, "recv")
+                    _advance(p, live, waiting, msg.payload, stats)
+                    if p not in live:
+                        emit(rounds, p, "retire")
+                    progressed = True
+            elif isinstance(req, Yield):
+                waiting.pop(p)
+                emit(rounds, p, "step")
+                _advance(p, live, waiting, None, stats)
+                if p not in live:
+                    emit(rounds, p, "retire")
+                progressed = True
+            elif isinstance(req, Barrier):
+                at_barrier.add(p)
+            elif req is None:
+                emit(rounds, p, "step")
+                _advance(p, live, waiting, None, stats)
+                if p not in live:
+                    emit(rounds, p, "retire")
+                progressed = True
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"node {p} yielded unknown request {req!r}")
+
+        if not progressed and not (at_barrier and at_barrier == set(live)):
+            diag = {
+                p: (f"recv(src={r.src}, tag={r.tag!r})" if isinstance(r, Recv)
+                    else "barrier" if isinstance(r, Barrier) else repr(r))
+                for p, r in waiting.items()
+            }
+            raise DeadlockError(
+                f"deadlock after {rounds} rounds; blocked nodes: {diag}; "
+                f"undelivered messages: {network.pending()}"
+            )
+
+
+def _advance(
+    p: int,
+    live: Dict[int, NodeGen],
+    waiting: Dict[int, Any],
+    value: Any,
+    stats: Optional[MachineStats],
+) -> None:
+    """Resume node *p* with *value*; record its next request or retire it."""
+    gen = live.get(p)
+    if gen is None:
+        return
+    try:
+        req = gen.send(value)
+    except StopIteration:
+        live.pop(p, None)
+        waiting.pop(p, None)
+        return
+    if stats is not None:
+        stats[p].steps += 1
+    waiting[p] = req

@@ -1,0 +1,76 @@
+"""Trace analysis: pipeline overlap and activity timelines.
+
+A scheduler trace (list of :class:`~repro.machine.scheduler.TraceEvent`)
+records *when* (in logical scheduler rounds) each node progressed.  From
+it we derive:
+
+* per-node activity spans (first/last active round),
+* the **overlap factor** — mean number of simultaneously-active nodes
+  over the makespan, the quantity that distinguishes a true pipeline
+  (DOACROSS) from serialized execution,
+* a text timeline (one row per node) for eyeballing runs.
+
+Logical rounds are a scheduling clock, not wall time; the *shape* of the
+timeline (who overlaps whom) is exactly what the simulator defines.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Sequence, Tuple
+
+from .scheduler import TraceEvent
+
+__all__ = ["activity_spans", "overlap_factor", "render_timeline"]
+
+
+def activity_spans(trace: Sequence[TraceEvent]) -> Dict[int, Tuple[int, int]]:
+    """Per node: (first round active, last round active)."""
+    spans: Dict[int, Tuple[int, int]] = {}
+    for ev in trace:
+        if ev.kind == "retire":
+            continue
+        lo, hi = spans.get(ev.p, (ev.round, ev.round))
+        spans[ev.p] = (min(lo, ev.round), max(hi, ev.round))
+    return spans
+
+
+def overlap_factor(trace: Sequence[TraceEvent]) -> float:
+    """Mean number of nodes active per round with at least one event.
+
+    1.0 = fully serialized (one node at a time); pmax = perfectly
+    parallel.  DOACROSS pipelines land in between, and higher is better.
+    """
+    per_round: Dict[int, set] = defaultdict(set)
+    for ev in trace:
+        if ev.kind != "retire":
+            per_round[ev.round].add(ev.p)
+    if not per_round:
+        return 0.0
+    return sum(len(s) for s in per_round.values()) / len(per_round)
+
+
+def render_timeline(
+    trace: Sequence[TraceEvent], pmax: int, width: int = 72
+) -> str:
+    """ASCII activity chart: one row per node, ``#`` where it progressed.
+
+    Rounds are rescaled into *width* buckets for long runs.
+    """
+    if not trace:
+        return "(empty trace)"
+    max_round = max(ev.round for ev in trace)
+    scale = max(1, (max_round + 1 + width - 1) // width)
+    cols = (max_round + 1 + scale - 1) // scale
+    grid = [[" "] * cols for _ in range(pmax)]
+    for ev in trace:
+        if ev.kind == "retire":
+            continue
+        c = ev.round // scale
+        mark = "B" if ev.kind == "barrier" else "#"
+        if grid[ev.p][c] != "#":
+            grid[ev.p][c] = mark
+    lines = [f"rounds 0..{max_round} (x{scale} per column)"]
+    for p in range(pmax):
+        lines.append(f"p{p:<3d} |" + "".join(grid[p]) + "|")
+    return "\n".join(lines)

@@ -1,0 +1,68 @@
+"""Small reporting helpers: fixed-width tables and machine-run summaries.
+
+Used by the CLI, the examples, and the benchmark harness so every
+surface prints runs the same way.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .machine.costmodel import CostModel
+from .machine.stats import MachineStats
+
+__all__ = ["format_table", "print_table", "run_summary", "format_run"]
+
+
+def format_table(
+    title: str, header: Sequence[str], rows: Iterable[Sequence]
+) -> str:
+    """Render a fixed-width text table."""
+    rows = [list(map(str, r)) for r in rows]
+    header = list(map(str, header))
+    widths = [
+        max(len(header[k]), *(len(r[k]) for r in rows)) if rows
+        else len(header[k])
+        for k in range(len(header))
+    ]
+    line = "  ".join(h.ljust(w) for h, w in zip(header, widths))
+    out = [f"=== {title} ===", line, "-" * len(line)]
+    for r in rows:
+        out.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(out)
+
+
+def print_table(
+    title: str, header: Sequence[str], rows: Iterable[Sequence]
+) -> None:
+    print("\n" + format_table(title, header, rows))
+
+
+def run_summary(
+    stats: MachineStats, model: Optional[CostModel] = None
+) -> Dict[str, object]:
+    """Aggregate counters of one machine run (plus modeled numbers when a
+    cost model is given)."""
+    out: Dict[str, object] = dict(stats.summary())
+    out["load_imbalance"] = round(stats.load_imbalance(), 3)
+    if model is not None:
+        out["modeled_makespan"] = round(model.makespan(stats), 1)
+        out["modeled_speedup"] = round(model.speedup(stats), 2)
+    return out
+
+
+def format_run(
+    label: str, stats: MachineStats, model: Optional[CostModel] = None
+) -> str:
+    """One-line run description for logs and CLI output."""
+    s = run_summary(stats, model)
+    parts = [f"{label}:"]
+    parts.append(f"messages={s['messages']}")
+    parts.append(f"elements={s['elements_moved']}")
+    parts.append(f"updates={s['updates']}")
+    parts.append(f"tests={s['tests']}")
+    parts.append(f"imbalance={s['load_imbalance']}")
+    if model is not None:
+        parts.append(f"makespan={s['modeled_makespan']}")
+        parts.append(f"speedup={s['modeled_speedup']}")
+    return "  ".join(parts)

@@ -1,0 +1,109 @@
+"""Naive run-time membership sets (paper Section 2.8 and Section 3 intro).
+
+``Modify_p = { i in imin:imax | proc_A(f(i)) = p }``
+``Reside_p = { i in imin:imax | proc_B(g(i)) = p }``
+``All_p    = Modify_p ∪ Reside_p``
+
+Computed the way the *unoptimized* elementary SPMD program computes them:
+a full scan of ``imax - imin + 1`` iterations, each performing one
+``proc(f(i)) = p`` test.  The :class:`Work` counter records exactly that
+cost, which Section 3 sets out to eliminate; every optimized enumerator is
+measured against these counts (experiment E10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List
+
+from ..core.ifunc import IFunc
+from ..decomp.base import Decomposition
+
+__all__ = ["Work", "modify_naive", "reside_naive", "all_naive"]
+
+
+@dataclass
+class Work:
+    """Run-time overhead counters for set enumeration.
+
+    * ``tests``        — ``proc(f(i)) = p`` membership tests executed
+    * ``iterations``   — loop iterations driven (outer + inner)
+    * ``euclid_steps`` — division steps spent in extended Euclid
+    * ``preimage_calls`` — closed-form / binary-search inverse evaluations
+    * ``emitted``      — useful indices produced
+    """
+
+    tests: int = 0
+    iterations: int = 0
+    euclid_steps: int = 0
+    preimage_calls: int = 0
+    emitted: int = 0
+
+    def overhead(self) -> int:
+        """Total non-useful work (everything but emission)."""
+        return self.tests + self.iterations + self.euclid_steps + self.preimage_calls
+
+    def __add__(self, other: "Work") -> "Work":
+        return Work(
+            self.tests + other.tests,
+            self.iterations + other.iterations,
+            self.euclid_steps + other.euclid_steps,
+            self.preimage_calls + other.preimage_calls,
+            self.emitted + other.emitted,
+        )
+
+
+def modify_naive(
+    d: Decomposition,
+    f: IFunc,
+    imin: int,
+    imax: int,
+    p: int,
+    work: Work | None = None,
+) -> List[int]:
+    """The naive ``Modify_p`` scan: one test per index in the full range."""
+    out: List[int] = []
+    for i in range(imin, imax + 1):
+        if work is not None:
+            work.iterations += 1
+            work.tests += 1
+        if d.proc(f(i)) == p:
+            out.append(i)
+            if work is not None:
+                work.emitted += 1
+    return out
+
+
+def reside_naive(
+    d: Decomposition,
+    g: IFunc,
+    imin: int,
+    imax: int,
+    p: int,
+    work: Work | None = None,
+) -> List[int]:
+    """The naive ``Reside_p`` scan (same mechanics, read-side function)."""
+    return modify_naive(d, g, imin, imax, p, work)
+
+
+def all_naive(
+    d_write: Decomposition,
+    f: IFunc,
+    d_read: Decomposition,
+    g: IFunc,
+    imin: int,
+    imax: int,
+    p: int,
+    work: Work | None = None,
+) -> List[int]:
+    """``All_p = Modify_p ∪ Reside_p`` as one fused scan (the §2.10 loop)."""
+    out: List[int] = []
+    for i in range(imin, imax + 1):
+        if work is not None:
+            work.iterations += 1
+            work.tests += 2
+        if d_write.proc(f(i)) == p or d_read.proc(g(i)) == p:
+            out.append(i)
+            if work is not None:
+                work.emitted += 1
+    return out

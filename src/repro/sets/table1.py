@@ -1,0 +1,174 @@
+"""The Table I dispatch: pick the strongest optimization for an access.
+
+Given a decomposition and a classified access function, return an
+:class:`OptimizedAccess` that enumerates ``{ i | proc(f(i)) = p }`` with
+the best rule the paper derives:
+
+====================  =============  ==========================  ==================
+access function       Block          Scatter                     Block/Scatter BS(b)
+====================  =============  ==========================  ==================
+``c``                 Thm 1          Thm 1                       Thm 1
+``i + c``             block range    Thm 3 (stride pmax)         RB / RS
+``a.i + c``           block range    Thm 3 (+Cor 1 / Cor 2)      RB / RS
+monotone (non-lin)    block range    enum-on-k if df/di < pmax,  RB / RS
+                                     else naive
+``g(i) mod z + d``    piecewise of   piecewise of the above      piecewise RB / RS
+                      the above
+====================  =============  ==========================  ==================
+
+RB = Repeated Block (Theorem 2), RS = Repeated Scatter (§3.2.i); RS is
+selected when ``b <= f(imax)/(2.pmax)``, the paper's favourability
+condition.  SingleOwner/Replicated degenerate decompositions get their
+trivial closed forms.  Anything else falls back to the naive scan — the
+dispatch never *fails*, it only degrades, mirroring "preferably all index
+sets are completely reduced at compile time" (§3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..core.ifunc import AffineF, ConstantF, IFunc, ModularF
+from ..decomp.base import Decomposition
+from ..decomp.block import Block
+from ..decomp.blockscatter import BlockScatter
+from ..decomp.replicated import Replicated, SingleOwner
+from ..decomp.scatter import Scatter
+from .enumerators import (
+    Enumeration,
+    enum_block,
+    enum_constant,
+    enum_naive,
+    enum_piecewise,
+    enum_repeated_block,
+    enum_repeated_scatter,
+    enum_scatter_linear,
+    enum_scatter_on_k,
+    enum_trivial,
+)
+from .membership import Work
+
+__all__ = ["OptimizedAccess", "optimize_access", "choose_rule"]
+
+EnumFn = Callable[[Decomposition, IFunc, int, int, int, Work], Enumeration]
+
+
+@dataclass
+class OptimizedAccess:
+    """A compiled (decomposition, access, range) triple.
+
+    ``rule`` names the Table I entry that will fire; ``enumerate(p)``
+    produces the membership set for processor *p*.
+    """
+
+    d: Decomposition
+    f: IFunc
+    imin: int
+    imax: int
+    rule: str
+    _fn: EnumFn
+
+    def enumerate(self, p: int, work: Optional[Work] = None) -> Enumeration:
+        if work is None:
+            work = Work()
+        return self._fn(self.d, self.f, self.imin, self.imax, p, work)
+
+    def indices(self, p: int, work: Optional[Work] = None) -> list[int]:
+        return self.enumerate(p, work).indices()
+
+
+def _wants_repeated_scatter(d: BlockScatter, f: IFunc, imin: int, imax: int) -> bool:
+    """§3.2.i condition: RS beats RB when ``b <= f(imax)/(2.pmax)``."""
+    _flo, fhi = f.image_bounds(imin, imax)
+    return d.b * 2 * d.pmax <= max(fhi, 0)
+
+
+def _monotone_ok(f: IFunc, imin: int, imax: int) -> bool:
+    try:
+        return f.monotone_direction(imin, imax) != 0
+    except NotImplementedError:
+        return False
+
+
+def choose_rule(
+    d: Decomposition, f: IFunc, imin: int, imax: int
+) -> tuple[str, EnumFn]:
+    """Select the Table I rule name and enumerator for this access."""
+    # Degenerate decompositions first: membership independent of f.
+    if isinstance(d, (SingleOwner, Replicated)):
+        return ("singleowner" if isinstance(d, SingleOwner) else "replicated-all",
+                enum_trivial)
+    from ..decomp.multidim import Collapsed
+
+    if isinstance(d, Collapsed):
+        # an undistributed grid axis: its single processor owns everything
+        def collapsed(d_, f_, lo, hi, p, work):
+            e = Enumeration("collapsed")
+            if p == 0:
+                e.add(lo, hi)
+                work.emitted += e.count()
+            return e
+
+        return "collapsed", collapsed
+
+    if isinstance(f, ConstantF):
+        return "thm1-constant", enum_constant
+
+    # Piece-wise monotonic: split and recurse on the monotone pieces (§3.3).
+    if isinstance(f, ModularF):
+        def piecewise(d_, f_, lo, hi, p, work, _outer=(d, imin, imax)):
+            def inner(dd, ff, l, h, pp, w):
+                _rule, fn = choose_rule(dd, ff, l, h)
+                return fn(dd, ff, l, h, pp, w)
+            return enum_piecewise(d_, f_, lo, hi, p, work, inner)
+
+        inner_rule, _ = choose_rule(d, _sample_piece(f, imin, imax), imin, imax)
+        return f"piecewise({inner_rule})", piecewise
+
+    if isinstance(d, Block):
+        if isinstance(f, AffineF) or _monotone_ok(f, imin, imax):
+            return "block", enum_block
+        return "naive", enum_naive
+
+    if isinstance(d, Scatter):
+        if isinstance(f, AffineF):
+            if d.pmax % abs(f.a) == 0:
+                return "thm3-cor1", enum_scatter_linear
+            if abs(f.a) % d.pmax == 0:
+                return "thm3-cor2", enum_scatter_linear
+            return "thm3-linear", enum_scatter_linear
+        if _monotone_ok(f, imin, imax):
+            if f.derivative_bound(imin, imax) < d.pmax:
+                return "enum-on-k", enum_scatter_on_k
+            # Scatter is BS(1): Theorem 2 still enumerates correctly, and
+            # with df/di >= pmax it is the better of the bad options.
+            return "thm2-repeated-block", enum_repeated_block
+        return "naive", enum_naive
+
+    if isinstance(d, BlockScatter):
+        if isinstance(f, AffineF) or _monotone_ok(f, imin, imax):
+            if _wants_repeated_scatter(d, f, imin, imax):
+                return "repeated-scatter", enum_repeated_scatter
+            return "thm2-repeated-block", enum_repeated_block
+        return "naive", enum_naive
+
+    return "naive", enum_naive
+
+
+def _sample_piece(f: ModularF, imin: int, imax: int) -> IFunc:
+    """Representative monotone piece of a modular access, used only to name
+    the inner rule in diagnostics."""
+    pieces = f.pieces(imin, imax)
+    return pieces[0][2] if pieces else f.g
+
+
+def optimize_access(
+    d: Decomposition, f: IFunc, imin: int, imax: int
+) -> OptimizedAccess:
+    """Compile one access: returns the optimized membership enumerator."""
+    if imin > imax:
+        rule, fn = "empty", lambda d_, f_, lo, hi, p, w: Enumeration("empty")
+        return OptimizedAccess(d, f, imin, imax, rule, fn)
+    rule, fn = choose_rule(d, f, imin, imax)
+    return OptimizedAccess(d, f, imin, imax, rule, fn)

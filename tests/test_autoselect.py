@@ -1,0 +1,152 @@
+"""Tests for automatic decomposition selection."""
+
+import numpy as np
+import pytest
+
+from repro.codegen.autoselect import (
+    assignment_cost,
+    candidate_decompositions,
+    choose_dynamic,
+    choose_static,
+)
+from repro.core import (
+    AffineF,
+    Clause,
+    IndexSet,
+    Program,
+    Ref,
+    SeparableMap,
+    copy_env,
+    evaluate_program,
+)
+from repro.decomp import Block, BlockScatter, Replicated, Scatter
+from repro.machine import ETHERNET_CLUSTER, HYPERCUBE, CostModel
+
+N, PMAX = 64, 4
+
+
+def stencil(write="A", read="B", n=N):
+    return Clause(
+        IndexSet.range1d(1, n - 2),
+        Ref(write, SeparableMap([AffineF(1, 0)])),
+        Ref(read, SeparableMap([AffineF(1, -1)]))
+        + Ref(read, SeparableMap([AffineF(1, 1)])),
+    )
+
+
+def prefix(write="A", n=N):
+    return Clause(
+        IndexSet.range1d(0, n // 4 - 1),
+        Ref(write, SeparableMap([AffineF(1, 0)])),
+        Ref(write, SeparableMap([AffineF(1, 0)])) * 2,
+    )
+
+
+def env_for(rng, names=("A", "B")):
+    return {k: rng.random(N) for k in names}
+
+
+class TestCandidates:
+    def test_default_set(self):
+        cands = candidate_decompositions(N, PMAX)
+        kinds = {type(c) for c in cands}
+        assert Block in kinds and Scatter in kinds and BlockScatter in kinds
+        assert Replicated not in kinds
+
+    def test_read_only_gets_replicated(self):
+        cands = candidate_decompositions(N, PMAX, read_only=True)
+        assert any(isinstance(c, Replicated) for c in cands)
+
+    def test_bs_sizes_filtered(self):
+        cands = candidate_decompositions(4, 4, bs_sizes=(2, 64))
+        assert not any(
+            isinstance(c, BlockScatter) and c.b == 64 for c in cands
+        )
+
+
+class TestAssignmentCost:
+    def test_cost_is_positive_and_model_sensitive(self, rng):
+        prog = Program([stencil()])
+        env = env_for(rng)
+        decomps = {"A": Block(N, PMAX), "B": Scatter(N, PMAX)}
+        c1 = assignment_cost(prog, decomps, env, HYPERCUBE)
+        c2 = assignment_cost(prog, decomps, env, ETHERNET_CLUSTER)
+        assert 0 < c1 < c2  # ethernet punishes the same messages harder
+
+    def test_cost_threads_state_between_clauses(self, rng):
+        # second clause reads what the first wrote; must not crash and
+        # must match semantics
+        prog = Program([stencil("A", "B"), stencil("C", "A")])
+        env = {k: rng.random(N) for k in "ABC"}
+        decomps = {k: Block(N, PMAX) for k in "ABC"}
+        cost = assignment_cost(prog, decomps, env, HYPERCUBE)
+        assert cost > 0
+
+
+class TestStaticChoice:
+    def test_replicates_read_only_operand(self, rng):
+        sc = choose_static(Program([stencil()]), env_for(rng), PMAX,
+                           ETHERNET_CLUSTER)
+        assert isinstance(sc.best["B"], Replicated)
+
+    def test_never_replicates_written_array(self, rng):
+        sc = choose_static(Program([stencil()]), env_for(rng), PMAX,
+                           HYPERCUBE)
+        assert not isinstance(sc.best["A"], Replicated)
+
+    def test_ranking_sorted(self, rng):
+        sc = choose_static(Program([prefix()]), {"A": rng.random(N)},
+                           PMAX, HYPERCUBE)
+        costs = [c for _d, c in sc.ranking]
+        assert costs == sorted(costs)
+        assert sc.cost == costs[0]
+
+    def test_prefix_workload_prefers_scatter(self, rng):
+        sc = choose_static(Program([prefix()]), {"A": rng.random(N)},
+                           PMAX, HYPERCUBE)
+        assert isinstance(sc.best["A"], Scatter)
+
+    def test_stencil_with_written_operand_prefers_alignment(self, rng):
+        # B is also written (so not replicable): block/block alignment
+        # should win on a latency-dominated machine
+        prog = Program([stencil("B", "B", n=N), stencil("A", "B")])
+        sc = choose_static(prog, env_for(rng), PMAX, ETHERNET_CLUSTER)
+        assert isinstance(sc.best["A"], Block)
+        assert isinstance(sc.best["B"], Block)
+
+    def test_describe(self, rng):
+        sc = choose_static(Program([prefix()]), {"A": rng.random(N)},
+                           PMAX, HYPERCUBE)
+        assert "A=" in sc.describe()
+
+
+class TestDynamicChoice:
+    def test_dynamic_never_worse_than_static(self, rng):
+        prog = Program([stencil("B", "B"), prefix("B")])
+        dc = choose_dynamic(prog, {"B": rng.random(N)}, PMAX, HYPERCUBE)
+        assert dc.cost <= dc.static_cost + 1e-9
+
+    def test_dynamic_switches_when_it_pays(self, rng):
+        # a latency-light machine makes redistribution cheap: between a
+        # block-friendly stencil phase and a scatter-friendly prefix
+        # phase the DP should switch layouts mid-program
+        model = CostModel("cheap-comm", alpha=1.0, beta=0.05, t_barrier=1.0,
+                          t_test=0.5)
+        prog = Program([stencil("B", "B"), prefix("B")])
+        candidates = {"B": [Block(N, PMAX), Scatter(N, PMAX)]}
+        dc = choose_dynamic(prog, {"B": rng.random(N)}, PMAX, model,
+                            candidates=candidates)
+        k0 = type(dc.per_phase[0]["B"]).__name__
+        k1 = type(dc.per_phase[1]["B"]).__name__
+        assert dc.cost < dc.static_cost
+        assert (k0, k1) == ("Block", "Scatter")
+
+    def test_per_phase_length(self, rng):
+        prog = Program([prefix("B"), prefix("B"), prefix("B")])
+        dc = choose_dynamic(prog, {"B": rng.random(N)}, PMAX, HYPERCUBE)
+        assert len(dc.per_phase) == 3
+
+    def test_describe(self, rng):
+        prog = Program([prefix("B")])
+        dc = choose_dynamic(prog, {"B": rng.random(N)}, PMAX, HYPERCUBE)
+        assert "phase 0" in dc.describe()

@@ -1,0 +1,150 @@
+"""Tests for barrier elimination (paper §2.9, footnote 1)."""
+
+import numpy as np
+import pytest
+
+from repro.codegen.barriers import (
+    barrier_removable,
+    clause_access_maps,
+    has_cross_processor_overlap,
+    plan_barriers,
+    run_program_shared,
+)
+from repro.core import (
+    PAR,
+    SEQ,
+    AffineF,
+    Clause,
+    IndexSet,
+    Program,
+    Ref,
+    SeparableMap,
+    copy_env,
+    evaluate_program,
+)
+from repro.decomp import Block, Scatter
+
+N, PMAX = 24, 4
+
+
+def cl(write, read, shift=0, n=N, ordering=PAR, lo=0, hi=None):
+    if hi is None:
+        hi = n - 1 - max(shift, 0)
+    return Clause(
+        domain=IndexSet.range1d(lo, hi),
+        lhs=Ref(write, SeparableMap([AffineF(1, 0)])),
+        rhs=Ref(read, SeparableMap([AffineF(1, shift)])) + 1,
+        ordering=ordering,
+    )
+
+
+def env_for(seed=0):
+    rng = np.random.default_rng(seed)
+    return {k: rng.random(N) for k in "ABCD"}
+
+
+BLOCKS = {k: Block(N, PMAX) for k in "ABCD"}
+
+
+class TestAnalysis:
+    def test_access_maps(self):
+        maps = clause_access_maps(cl("A", "B"), BLOCKS)
+        assert ("A", 0) in maps.writes
+        assert ("B", 0) in maps.reads
+        # aligned: iteration i owned by block owner of i, reads B[i] of
+        # the same owner
+        assert maps.writes[("A", 5)] == maps.reads[("B", 5)]
+
+    def test_aligned_pipeline_barrier_removable(self):
+        # A := B+1 ; C := A+1 — same decomposition, identity accesses:
+        # every datum stays on its processor
+        assert barrier_removable(cl("A", "B"), cl("C", "A"), BLOCKS)
+
+    def test_shifted_flow_needs_barrier(self):
+        # C[i] := A[i+1]: block-boundary elements flow across processors
+        assert not barrier_removable(cl("A", "B"), cl("C", "A", shift=1),
+                                     BLOCKS)
+
+    def test_independent_arrays_removable(self):
+        assert barrier_removable(cl("A", "B"), cl("C", "D"), BLOCKS)
+
+    def test_mixed_decomposition_flow_needs_barrier(self):
+        decomps = dict(BLOCKS)
+        decomps["C"] = Scatter(N, PMAX)
+        # writer of C[i] is i mod pmax; reads A[i] owned by i div b
+        assert not barrier_removable(cl("A", "B"), cl("C", "A"), decomps)
+
+    def test_anti_dependence_needs_barrier(self):
+        # clause 1 reads A[i+1]; clause 2 overwrites A — cross-processor
+        # anti dependence at block boundaries
+        c1 = cl("B", "A", shift=1)
+        c2 = cl("A", "C")
+        assert not barrier_removable(c1, c2, BLOCKS)
+
+    def test_seq_clause_never_fused(self):
+        assert not barrier_removable(cl("A", "B", ordering=SEQ),
+                                     cl("C", "A"), BLOCKS)
+
+    def test_intra_clause_overlap_blocks_fusion(self):
+        # A[i] := A[i+1] has intra-clause cross-processor overlap: even
+        # with an unrelated successor the fusion is unsafe
+        c1 = cl("A", "A", shift=1)
+        assert has_cross_processor_overlap(c1, BLOCKS)
+        assert not barrier_removable(c1, cl("C", "D"), BLOCKS)
+
+    def test_plan_barriers_shape(self):
+        prog = Program([cl("A", "B"), cl("C", "A"), cl("D", "C", shift=1)])
+        flags = plan_barriers(prog, BLOCKS)
+        assert flags == [False, True, True]  # final barrier always kept
+
+
+class TestFusedExecution:
+    def test_fused_program_matches_reference(self):
+        prog = Program([cl("A", "B"), cl("C", "A"), cl("D", "C")])
+        env0 = env_for()
+        ref = evaluate_program(prog, copy_env(env0))
+        m, barriers = run_program_shared(prog, BLOCKS, copy_env(env0))
+        for name in "ACD":
+            assert np.allclose(m.env[name], ref[name]), name
+        assert barriers == 1  # three phases fused into one
+
+    def test_unfusable_program_keeps_barriers(self):
+        prog = Program([cl("A", "B"), cl("C", "A", shift=1)])
+        env0 = env_for()
+        ref = evaluate_program(prog, copy_env(env0))
+        m, barriers = run_program_shared(prog, BLOCKS, copy_env(env0))
+        assert np.allclose(m.env["C"], ref["C"])
+        assert barriers == 2
+
+    def test_elimination_disabled(self):
+        prog = Program([cl("A", "B"), cl("C", "A")])
+        env0 = env_for()
+        _m, barriers = run_program_shared(prog, BLOCKS, copy_env(env0),
+                                          eliminate_barriers=False)
+        assert barriers == 2
+
+    def test_mixed_fusable_and_not(self):
+        prog = Program([
+            cl("A", "B"),            # fuses with next
+            cl("C", "A"),            # barrier after (next reads shifted C)
+            cl("D", "C", shift=1),
+        ])
+        env0 = env_for(3)
+        ref = evaluate_program(prog, copy_env(env0))
+        m, barriers = run_program_shared(prog, BLOCKS, copy_env(env0))
+        for name in "ACD":
+            assert np.allclose(m.env[name], ref[name])
+        assert barriers == 2
+
+    def test_seq_clause_runs_inside_program(self):
+        rec = Clause(
+            IndexSet.range1d(1, N - 1),
+            Ref("A", SeparableMap([AffineF(1, 0)])),
+            Ref("A", SeparableMap([AffineF(1, -1)])),
+            ordering=SEQ,
+        )
+        prog = Program([cl("A", "B"), rec])
+        env0 = env_for(4)
+        ref = evaluate_program(prog, copy_env(env0))
+        m, _ = run_program_shared(prog, BLOCKS, copy_env(env0))
+        assert np.allclose(m.env["A"], ref["A"])

@@ -1,0 +1,123 @@
+"""Tests for bounded sets (paper Definition 1)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.bounds import EMPTY_1D, Bounds
+
+
+class TestConstruction:
+    def test_scalar_shorthand(self):
+        b = Bounds(2, 5)
+        assert b.lower == (2,)
+        assert b.upper == (5,)
+        assert b.dim == 1
+
+    def test_tuple_construction(self):
+        b = Bounds((2, 3), (3, 4))
+        assert b.dim == 2
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Bounds((0, 0), (1,))
+
+    def test_empty_constant(self):
+        assert EMPTY_1D.is_empty
+        assert EMPTY_1D.size() == 0
+
+
+class TestMembership:
+    def test_example1_membership(self):
+        # paper Example 1: {(2,3),(2,4),(3,3),(3,4)} within l=(2,3), u=(3,4)
+        b = Bounds((2, 3), (3, 4))
+        for pt in [(2, 3), (2, 4), (3, 3), (3, 4)]:
+            assert pt in b
+        assert (1, 3) not in b
+        assert (2, 5) not in b
+
+    def test_example1_larger_bounds(self):
+        # ... but also within l=(1,0), u=(8,7)
+        b = Bounds((1, 0), (8, 7))
+        for pt in [(2, 3), (2, 4), (3, 3), (3, 4)]:
+            assert pt in b
+
+    def test_scalar_membership(self):
+        b = Bounds(0, 9)
+        assert 0 in b
+        assert 9 in b
+        assert 10 not in b
+        assert -1 not in b
+
+    def test_wrong_arity_not_member(self):
+        assert (1, 2) not in Bounds(0, 9)
+
+
+class TestSizeAndIteration:
+    def test_size_1d(self):
+        assert Bounds(3, 7).size() == 5
+
+    def test_size_2d(self):
+        assert Bounds((0, 0), (2, 3)).size() == 12
+
+    def test_size_empty(self):
+        assert Bounds(5, 2).size() == 0
+
+    def test_lexicographic_iteration(self):
+        pts = list(Bounds((0, 0), (1, 1)))
+        assert pts == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_iter_scalar(self):
+        assert list(Bounds(2, 5).iter_scalar()) == [2, 3, 4, 5]
+
+    def test_iter_scalar_rejects_2d(self):
+        with pytest.raises(ValueError):
+            Bounds((0, 0), (1, 1)).iter_scalar()
+
+    def test_empty_iteration(self):
+        assert list(Bounds(1, 0)) == []
+
+
+class TestIntersection:
+    def test_and_operator(self):
+        b = Bounds(0, 10) & Bounds(5, 20)
+        assert b.scalar() == (5, 10)
+
+    def test_and_disjoint_is_empty(self):
+        assert (Bounds(0, 3) & Bounds(5, 9)).is_empty
+
+    def test_and_2d(self):
+        b = Bounds((0, 0), (5, 5)) & Bounds((2, 3), (9, 4))
+        assert b.lower == (2, 3)
+        assert b.upper == (5, 4)
+
+    def test_and_dim_mismatch(self):
+        with pytest.raises(ValueError):
+            Bounds(0, 1) & Bounds((0, 0), (1, 1))
+
+    @given(
+        st.integers(-20, 20), st.integers(-20, 20),
+        st.integers(-20, 20), st.integers(-20, 20),
+    )
+    def test_and_is_set_intersection(self, l1, u1, l2, u2):
+        b1, b2 = Bounds(l1, u1), Bounds(l2, u2)
+        inter = b1 & b2
+        lo = max(min(l1, u1), min(l2, u2)) if True else None
+        expected = set(b1.iter_scalar()) & set(b2.iter_scalar())
+        assert set(inter.iter_scalar()) == expected
+
+
+class TestNormalization:
+    def test_normalized_tightens(self):
+        b = Bounds((0, 0), (10, 10))
+        tight = b.normalized([(2, 3), (3, 4)])
+        assert tight.lower == (2, 3)
+        assert tight.upper == (3, 4)
+
+    def test_normalized_empty_points_returns_self(self):
+        b = Bounds(0, 10)
+        assert b.normalized([]) is b
+
+    def test_scalar_accessor(self):
+        assert Bounds(1, 9).scalar() == (1, 9)
+        with pytest.raises(ValueError):
+            Bounds((0, 0), (1, 1)).scalar()

@@ -1,0 +1,175 @@
+"""Tests for clauses and the sequential reference evaluator (§2.4-2.5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.clause import PAR, SEQ, Clause, Program
+from repro.core.evaluator import (
+    WriteConflictError,
+    copy_env,
+    evaluate_clause,
+    evaluate_program,
+)
+from repro.core.expr import BinOp, Const, LoopIndex, Ref
+from repro.core.ifunc import AffineF, ConstantF, IdentityF
+from repro.core.indexset import IndexSet
+from repro.core.view import ProjectedMap, SeparableMap
+
+
+def ident_ref(name):
+    return Ref(name, SeparableMap([IdentityF()]))
+
+
+def simple_clause(n=8, ordering=PAR, guard=None):
+    return Clause(
+        domain=IndexSet.range1d(0, n - 1),
+        lhs=ident_ref("A"),
+        rhs=ident_ref("B") * 2,
+        ordering=ordering,
+        guard=guard,
+    )
+
+
+class TestClauseQueries:
+    def test_reads_include_guard(self):
+        c = simple_clause(guard=ident_ref("C") > 0)
+        assert [r.name for r in c.reads()] == ["B", "C"]
+
+    def test_read_names_deduplicate(self):
+        c = Clause(
+            IndexSet.range1d(0, 3),
+            ident_ref("A"),
+            BinOp("+", ident_ref("B"), ident_ref("B")),
+        )
+        assert c.read_names() == ["B"]
+
+    def test_array_names_lhs_first(self):
+        c = simple_clause()
+        assert c.array_names() == ["A", "B"]
+
+    def test_is_parallel(self):
+        assert simple_clause(ordering=PAR).is_parallel()
+        assert not simple_clause(ordering=SEQ).is_parallel()
+
+    def test_iter_indices_without_env_ignores_guard(self):
+        c = simple_clause(n=4, guard=Const(False))
+        assert list(c.iter_indices()) == [(0,), (1,), (2,), (3,)]
+
+    def test_iter_indices_with_env_applies_guard(self):
+        c = simple_clause(n=4, guard=ident_ref("A") > 15)
+        env = {"A": np.array([10.0, 20.0, 30.0, 5.0]), "B": np.zeros(4)}
+        assert list(c.iter_indices(env)) == [(1,), (2,)]
+
+
+class TestParallelSemantics:
+    def test_par_reads_pre_state(self):
+        # A[i] := A[i+1] in parallel must read the ORIGINAL neighbours.
+        c = Clause(
+            IndexSet.range1d(0, 2),
+            ident_ref("A"),
+            Ref("A", SeparableMap([AffineF(1, 1)])),
+            ordering=PAR,
+        )
+        env = {"A": np.array([1.0, 2.0, 3.0, 4.0])}
+        evaluate_clause(c, env)
+        assert list(env["A"]) == [2.0, 3.0, 4.0, 4.0]
+
+    def test_seq_reads_updated_state(self):
+        # A[i] := A[i-1] with • ordering propagates the first value down;
+        # with // ordering it only shifts by one.  This pair is exactly why
+        # the ordering operator matters.
+        def recurrence(ordering):
+            return Clause(
+                IndexSet.range1d(1, 3),
+                ident_ref("A"),
+                Ref("A", SeparableMap([AffineF(1, -1)])),
+                ordering=ordering,
+            )
+
+        env_seq = {"A": np.array([1.0, 2.0, 3.0, 4.0])}
+        evaluate_clause(recurrence(SEQ), env_seq)
+        assert list(env_seq["A"]) == [1.0, 1.0, 1.0, 1.0]
+
+        env_par = {"A": np.array([1.0, 2.0, 3.0, 4.0])}
+        evaluate_clause(recurrence(PAR), env_par)
+        assert list(env_par["A"]) == [1.0, 1.0, 2.0, 3.0]
+
+    def test_conflict_detection(self):
+        # every iteration writes A[0]
+        c = Clause(
+            IndexSet.range1d(0, 3),
+            Ref("A", SeparableMap([ConstantF(0)])),
+            LoopIndex(0),
+            ordering=PAR,
+        )
+        env = {"A": np.zeros(1)}
+        with pytest.raises(WriteConflictError):
+            evaluate_clause(c, env, check_conflicts=True)
+
+    def test_injective_write_passes_conflict_check(self):
+        c = simple_clause()
+        env = {"A": np.zeros(8), "B": np.arange(8.0)}
+        evaluate_clause(c, env, check_conflicts=True)
+        assert list(env["A"]) == [2.0 * i for i in range(8)]
+
+
+class TestGuards:
+    def test_fig1_guard(self):
+        # if A[i] > 0 then A[i] := B[i]
+        c = Clause(
+            IndexSet.range1d(0, 4),
+            ident_ref("A"),
+            ident_ref("B"),
+            guard=ident_ref("A") > 0,
+        )
+        env = {"A": np.array([1.0, -1.0, 2.0, -2.0, 3.0]),
+               "B": np.array([9.0, 9.0, 9.0, 9.0, 9.0])}
+        evaluate_clause(c, env)
+        assert list(env["A"]) == [9.0, -1.0, 9.0, -2.0, 9.0]
+
+
+class TestMultiDim:
+    def test_matvec_accumulation(self):
+        # y[i] := y[i] + M[i,j] * x[j] over a 2-D sequential domain
+        dom = IndexSet.of_shape(3, 4)
+        y = Ref("y", ProjectedMap([0], [IdentityF()]))
+        m = Ref("M", SeparableMap([IdentityF(), IdentityF()]))
+        x = Ref("x", ProjectedMap([1], [IdentityF()]))
+        c = Clause(dom, y, BinOp("+", y, BinOp("*", m, x)), ordering=SEQ)
+        rng = np.random.default_rng(7)
+        env = {"y": np.zeros(3), "M": rng.random((3, 4)), "x": rng.random(4)}
+        want = env["M"] @ env["x"]
+        evaluate_clause(c, env)
+        assert np.allclose(env["y"], want)
+
+
+class TestProgram:
+    def test_clauses_execute_in_order(self):
+        c1 = simple_clause()  # A := 2B
+        c2 = Clause(
+            IndexSet.range1d(0, 7), ident_ref("C"), ident_ref("A"),
+        )  # C := A
+        prog = Program([c1, c2])
+        env = {"A": np.zeros(8), "B": np.ones(8), "C": np.zeros(8)}
+        evaluate_program(prog, env)
+        assert list(env["C"]) == [2.0] * 8
+
+    def test_program_array_names(self):
+        prog = Program([simple_clause()])
+        assert prog.array_names() == ["A", "B"]
+
+    def test_copy_env_is_deep(self):
+        env = {"A": np.zeros(3)}
+        env2 = copy_env(env)
+        env2["A"][0] = 5
+        assert env["A"][0] == 0
+
+    def test_len_and_iter(self):
+        prog = Program([simple_clause(), simple_clause()])
+        assert len(prog) == 2
+        assert len(list(prog)) == 2
+
+    def test_zero_dim_rejected(self):
+        with pytest.raises(Exception):
+            Clause(IndexSet(IndexSet.range1d(0, 1).bounds.__class__((), ())),
+                   ident_ref("A"), Const(0))

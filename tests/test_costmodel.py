@@ -1,0 +1,101 @@
+"""Tests for the analytic cost model."""
+
+import numpy as np
+import pytest
+
+from repro.codegen import compile_clause, run_distributed
+from repro.core import AffineF, Clause, IndexSet, Ref, SeparableMap, copy_env
+from repro.decomp import Block, Scatter
+from repro.machine import (
+    ETHERNET_CLUSTER,
+    HYPERCUBE,
+    SHARED_BUS,
+    CostModel,
+    MachineStats,
+)
+
+
+def stats_with(**kw) -> MachineStats:
+    s = MachineStats.for_nodes(2)
+    for k, v in kw.items():
+        setattr(s[0], k, v)
+    return s
+
+
+class TestArithmetic:
+    def test_node_time_components(self):
+        m = CostModel("t", t_update=2, t_iteration=0, t_test=0,
+                      alpha=10, beta=1, t_barrier=100)
+        s = stats_with(local_updates=3, sends=2, elements_sent=5, barriers=1)
+        assert m.node_time(s[0]) == 6 + 20 + 5 + 100
+
+    def test_makespan_is_max(self):
+        m = CostModel("t")
+        s = MachineStats.for_nodes(3)
+        s[0].local_updates = 10
+        s[2].local_updates = 40
+        assert m.makespan(s) == m.node_time(s[2])
+
+    def test_sequential_time(self):
+        m = CostModel("t", t_update=1, t_iteration=0.5)
+        assert m.sequential_time(100) == 150.0
+
+    def test_speedup_perfect_balance_no_comm(self):
+        m = CostModel("t", alpha=0, beta=0, t_barrier=0, t_test=0)
+        s = MachineStats.for_nodes(4)
+        for p in range(4):
+            s[p].local_updates = 25
+            s[p].iterations = 25
+        assert m.speedup(s) == pytest.approx(4.0)
+
+    def test_empty_stats(self):
+        m = CostModel("t")
+        s = MachineStats.for_nodes(2)
+        assert m.makespan(s) == 0.0
+        assert m.speedup(s, useful_updates=0) == float("inf")
+
+
+class TestPresetsShapeClaims:
+    """The presets must rank decompositions the way real machines do."""
+
+    def stencil_run(self, mk_dec, n=256):
+        pmax = 8
+        cl = Clause(
+            IndexSet.range1d(1, n - 2),
+            Ref("A", SeparableMap([AffineF(1, 0)])),
+            Ref("B", SeparableMap([AffineF(1, -1)]))
+            + Ref("B", SeparableMap([AffineF(1, 1)])),
+        )
+        rng = np.random.default_rng(0)
+        env = {"A": np.zeros(n), "B": rng.random(n)}
+        plan = compile_clause(cl, {"A": mk_dec(n, pmax), "B": mk_dec(n, pmax)})
+        return run_distributed(plan, copy_env(env))
+
+    def test_block_beats_scatter_for_stencils_on_message_machines(self):
+        m_block = self.stencil_run(lambda n, p: Block(n, p))
+        m_scatter = self.stencil_run(lambda n, p: Scatter(n, p))
+        for model in (ETHERNET_CLUSTER, HYPERCUBE):
+            t_block = model.makespan(m_block.stats)
+            t_scatter = model.makespan(m_scatter.stats)
+            assert t_block < t_scatter, model.name
+
+    def test_latency_dominated_machines_punish_scatter_harder(self):
+        m_block = self.stencil_run(lambda n, p: Block(n, p))
+        m_scatter = self.stencil_run(lambda n, p: Scatter(n, p))
+        ratios = {}
+        for model in (HYPERCUBE, ETHERNET_CLUSTER):
+            ratios[model.name] = (model.makespan(m_scatter.stats)
+                                  / model.makespan(m_block.stats))
+        assert ratios["ethernet-cluster"] > ratios["hypercube"]
+
+    def test_speedup_grows_with_problem_size(self):
+        # per-node communication is constant for the block stencil, so
+        # modeled speedup must improve as n grows (classic scalability)
+        small = HYPERCUBE.speedup(
+            self.stencil_run(lambda n, p: Block(n, p), n=256).stats
+        )
+        large = HYPERCUBE.speedup(
+            self.stencil_run(lambda n, p: Block(n, p), n=2048).stats
+        )
+        assert large > small
+        assert large > 2.0

@@ -1,0 +1,183 @@
+"""Tests for block / scatter / block-scatter decompositions (Fig. 2, §3.2)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.decomp import (
+    Block,
+    BlockScatter,
+    Replicated,
+    Scatter,
+    SingleOwner,
+)
+
+from .conftest import decompositions
+
+
+class TestFig2Layouts:
+    """The exact processor layouts of paper Fig. 2 (n=15, pmax=4)."""
+
+    def test_fig2a_blockscatter_b2(self):
+        d = BlockScatter(15, 4, 2)
+        assert d.layout() == [0, 0, 1, 1, 2, 2, 3, 3, 0, 0, 1, 1, 2, 2, 3]
+
+    def test_fig2b_block(self):
+        d = Block(15, 4)
+        assert d.layout() == [0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3]
+
+    def test_fig2c_scatter(self):
+        d = Scatter(15, 4)
+        assert d.layout() == [0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2]
+
+
+class TestBlockScatter:
+    def test_paper_formulas(self):
+        d = BlockScatter(32, 4, 3)
+        for i in range(32):
+            assert d.proc(i) == (i // 3) % 4
+            assert d.local(i) == 3 * (i // 12) + i % 3
+
+    def test_courses(self):
+        assert BlockScatter(15, 4, 2).courses() == 2
+        assert BlockScatter(16, 4, 2).courses() == 2
+        assert BlockScatter(17, 4, 2).courses() == 3
+
+    def test_owned_increasing(self):
+        d = BlockScatter(20, 3, 2)
+        for p in range(3):
+            own = d.owned(p)
+            assert own == sorted(own)
+            assert all(d.proc(i) == p for i in own)
+
+    def test_owned_partition(self):
+        d = BlockScatter(23, 4, 3)
+        union = sorted(i for p in range(4) for i in d.owned(p))
+        assert union == list(range(23))
+
+    def test_global_index_roundtrip(self):
+        d = BlockScatter(23, 4, 3)
+        for i in range(23):
+            p, l = d.place(i)
+            assert d.global_index(p, l) == i
+
+    def test_global_index_invalid(self):
+        d = BlockScatter(10, 4, 2)
+        with pytest.raises(KeyError):
+            d.global_index(3, 99)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            BlockScatter(10, 4, 0)
+        with pytest.raises(ValueError):
+            BlockScatter(10, 0, 1)
+        with pytest.raises(ValueError):
+            BlockScatter(-1, 4, 1)
+
+    def test_local_size_dense(self):
+        d = BlockScatter(15, 4, 2)
+        for p in range(4):
+            locs = sorted(d.local(i) for i in d.owned(p))
+            assert locs == list(range(d.local_size(p)))
+
+
+class TestBlock:
+    def test_is_single_course_blockscatter(self):
+        b, bs = Block(16, 4), BlockScatter(16, 4, 4)
+        assert b.layout() == bs.layout()
+
+    def test_default_block_size_ceil(self):
+        assert Block(15, 4).b == 4
+        assert Block(16, 4).b == 4
+        assert Block(17, 4).b == 5
+
+    def test_explicit_block_size_too_small(self):
+        with pytest.raises(ValueError):
+            Block(20, 4, b=4)  # 4*4 < 20
+
+    def test_last_processor_partial_block(self):
+        d = Block(10, 4)  # b = 3: owner 3 gets only index 9
+        assert d.owned(3) == [9]
+        assert d.local_size(3) == 1
+
+    def test_empty_processor(self):
+        d = Block(4, 8)  # b=1, processors 4..7 own nothing
+        assert d.owned(7) == []
+        assert d.local_size(7) == 0
+
+    def test_global_index(self):
+        d = Block(15, 4)
+        assert d.global_index(2, 1) == 9
+        with pytest.raises(KeyError):
+            d.global_index(3, 3)  # index 15 out of range
+
+
+class TestScatter:
+    def test_formulas(self):
+        d = Scatter(17, 5)
+        for i in range(17):
+            assert d.proc(i) == i % 5
+            assert d.local(i) == i // 5
+
+    def test_owned_stride(self):
+        d = Scatter(17, 5)
+        assert d.owned(2) == [2, 7, 12]
+
+    def test_is_bs1(self):
+        assert Scatter(15, 4).layout() == BlockScatter(15, 4, 1).layout()
+
+    def test_global_index(self):
+        d = Scatter(17, 5)
+        assert d.global_index(2, 1) == 7
+        with pytest.raises(KeyError):
+            d.global_index(4, 4)  # would be 24 >= 17
+
+
+class TestDegenerate:
+    def test_single_owner(self):
+        d = SingleOwner(10, 4, owner=2)
+        assert set(d.layout()) == {2}
+        assert d.owned(2) == list(range(10))
+        assert d.owned(0) == []
+        assert d.local_size(2) == 10
+        assert d.local_size(1) == 0
+
+    def test_single_owner_range_check(self):
+        with pytest.raises(ValueError):
+            SingleOwner(10, 4, owner=4)
+
+    def test_replicated_everyone_holds_everything(self):
+        d = Replicated(10, 4)
+        for p in range(4):
+            assert d.owned(p) == list(range(10))
+            assert d.local_size(p) == 10
+        assert d.is_replicated
+
+    def test_replicated_validate_no_bijection_demand(self):
+        Replicated(10, 4).validate()  # must not raise
+
+
+class TestBijectivityProperty:
+    @given(decompositions())
+    @settings(max_examples=200)
+    def test_every_decomposition_is_a_bijection(self, d):
+        d.validate()
+
+    @given(decompositions())
+    @settings(max_examples=100)
+    def test_owned_matches_proc(self, d):
+        for p in range(d.pmax):
+            assert d.owned(p) == [i for i in range(d.n) if d.proc(i) == p]
+
+    @given(decompositions())
+    @settings(max_examples=100)
+    def test_roundtrip_place_global(self, d):
+        for i in range(d.n):
+            p, l = d.place(i)
+            assert d.global_index(p, l) == i
+
+    @given(decompositions())
+    @settings(max_examples=100)
+    def test_local_indices_dense_per_processor(self, d):
+        for p in range(d.pmax):
+            locs = sorted(d.local(i) for i in d.owned(p))
+            assert locs == list(range(len(locs)))

@@ -1,0 +1,89 @@
+"""Tests for redistribution planning (dynamic decompositions, §1/§5)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.decomp import (
+    Block,
+    BlockScatter,
+    Scatter,
+    SingleOwner,
+    plan_redistribution,
+)
+
+from .conftest import decompositions
+
+
+class TestPlanShape:
+    def test_identity_redistribution_moves_nothing(self):
+        d = Block(16, 4)
+        plan = plan_redistribution(d, Block(16, 4))
+        assert plan.moved_elements() == 0
+        assert plan.message_count() == 0
+        assert plan.stay_elements() == 16
+
+    def test_block_to_scatter_moves_most(self):
+        src, dst = Block(16, 4), Scatter(16, 4)
+        plan = plan_redistribution(src, dst)
+        # each processor keeps exactly the elements where block owner ==
+        # scatter owner
+        keep = sum(
+            1 for i in range(16) if src.proc(i) == dst.proc(i)
+        )
+        assert plan.stay_elements() == keep
+        assert plan.moved_elements() == 16 - keep
+
+    def test_transfers_respect_placements(self):
+        src, dst = Block(20, 4), BlockScatter(20, 4, 2)
+        plan = plan_redistribution(src, dst)
+        for (p, q), triples in plan.messages.items():
+            assert p != q
+            for sl, dl, gi in triples:
+                assert src.place(gi) == (p, sl)
+                assert dst.place(gi) == (q, dl)
+
+    def test_stay_respects_placements(self):
+        src, dst = Block(20, 4), Scatter(20, 4)
+        plan = plan_redistribution(src, dst)
+        for p, pairs in plan.stay.items():
+            own = {src.local(i): i for i in src.owned(p)}
+            for sl, dl in pairs:
+                gi = own[sl]
+                assert dst.place(gi) == (p, dl)
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            plan_redistribution(Block(10, 4), Block(12, 4))
+
+    def test_pmax_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            plan_redistribution(Block(10, 4), Block(10, 5))
+
+
+class TestStatistics:
+    def test_volume_by_pair(self):
+        plan = plan_redistribution(Block(16, 4), Scatter(16, 4))
+        vol = plan.volume_by_pair()
+        assert sum(vol.values()) == plan.moved_elements()
+
+    def test_gather_to_single_owner_fan_in(self):
+        plan = plan_redistribution(Block(16, 4), SingleOwner(16, 4, 0))
+        # processors 1..3 each send exactly one message to 0
+        assert plan.message_count() == 3
+        assert all(q == 0 for (_p, q) in plan.messages)
+        assert plan.moved_elements() == 12
+
+    def test_broadcast_from_single_owner_fan_out(self):
+        plan = plan_redistribution(SingleOwner(16, 4, 1), Block(16, 4))
+        assert plan.max_fan_out() == 3
+        assert plan.moved_elements() == 12
+
+
+class TestConservationProperty:
+    @given(decompositions(max_n=40, max_p=6), decompositions(max_n=40, max_p=6))
+    @settings(max_examples=120)
+    def test_every_element_accounted_once(self, src, dst):
+        if src.n != dst.n or src.pmax != dst.pmax:
+            return
+        plan = plan_redistribution(src, dst)
+        assert plan.moved_elements() + plan.stay_elements() == src.n

@@ -1,0 +1,97 @@
+"""Tests for multi-dimensional product decompositions."""
+
+import itertools
+
+import pytest
+
+from repro.decomp import Block, Collapsed, GridDecomposition, Scatter
+
+
+class TestCollapsed:
+    def test_single_grid_point(self):
+        d = Collapsed(10)
+        assert d.pmax == 1
+        assert d.owned(0) == list(range(10))
+        assert d.proc(5) == 0
+        assert d.local(5) == 5
+
+    def test_validate(self):
+        Collapsed(6).validate()
+
+
+class TestGridNumbering:
+    def test_row_major_roundtrip(self):
+        g = GridDecomposition([Block(8, 2), Scatter(9, 3)])
+        assert g.pmax == 6
+        for p in range(6):
+            assert g.linear_proc(g.grid_coord(p)) == p
+
+    def test_grid_coord_values(self):
+        g = GridDecomposition([Block(8, 2), Scatter(9, 3)])
+        assert g.grid_coord(0) == (0, 0)
+        assert g.grid_coord(1) == (0, 1)
+        assert g.grid_coord(3) == (1, 0)
+        assert g.grid_coord(5) == (1, 2)
+
+    def test_out_of_range(self):
+        g = GridDecomposition([Block(4, 2)])
+        with pytest.raises(IndexError):
+            g.grid_coord(2)
+        with pytest.raises(IndexError):
+            g.linear_proc((5,))
+
+
+class TestPlacement:
+    def test_2d_block_block(self):
+        g = GridDecomposition([Block(4, 2), Block(4, 2)])
+        # element (0,0) on grid (0,0)=proc 0; (3,3) on grid (1,1)=proc 3
+        assert g.proc((0, 0)) == 0
+        assert g.proc((3, 3)) == 3
+        assert g.proc((0, 3)) == 1
+        assert g.proc((3, 0)) == 2
+
+    def test_row_distribution_with_collapsed(self):
+        # block rows, full columns: the classic matvec layout
+        g = GridDecomposition([Block(6, 3), Collapsed(4)])
+        assert g.pmax == 3
+        for i, j in itertools.product(range(6), range(4)):
+            assert g.proc((i, j)) == i // 2
+
+    def test_local_shape(self):
+        g = GridDecomposition([Block(6, 3), Collapsed(4)])
+        assert g.local_shape(0) == (2, 4)
+
+    def test_owned_lexicographic(self):
+        g = GridDecomposition([Block(4, 2), Scatter(4, 2)])
+        own = g.owned(0)
+        assert own == sorted(own)
+        for idx in own:
+            assert g.proc(idx) == 0
+
+    def test_owned_partition(self):
+        g = GridDecomposition([Block(5, 2), Scatter(3, 3)])
+        all_owned = sorted(
+            idx for p in range(g.pmax) for idx in g.owned(p)
+        )
+        assert all_owned == sorted(itertools.product(range(5), range(3)))
+
+    def test_global_index_roundtrip(self):
+        g = GridDecomposition([Scatter(5, 2), Block(7, 2)])
+        for idx in itertools.product(range(5), range(7)):
+            p = g.proc(idx)
+            l = g.local(idx)
+            assert g.global_index(p, l) == idx
+
+    def test_validate_bijection(self):
+        GridDecomposition([Scatter(5, 2), Block(7, 2)]).validate()
+
+    def test_max_local_shape_covers_all(self):
+        g = GridDecomposition([Block(5, 2), Scatter(7, 3)])
+        mx = g.max_local_shape()
+        for p in range(g.pmax):
+            ls = g.local_shape(p)
+            assert all(a <= b for a, b in zip(ls, mx))
+
+    def test_empty_dims_rejected(self):
+        with pytest.raises(ValueError):
+            GridDecomposition([])

@@ -1,0 +1,94 @@
+"""Tests for overlapped (halo) block decompositions (paper §5 extension)."""
+
+import pytest
+
+from repro.decomp import OverlappedBlock, halo_exchange_plan
+
+
+class TestResidence:
+    def test_ownership_is_plain_block(self):
+        d = OverlappedBlock(16, 4, halo=1)
+        assert d.owned(1) == [4, 5, 6, 7]
+
+    def test_resident_range_extends_by_halo(self):
+        d = OverlappedBlock(16, 4, halo=1)
+        assert d.resident_range(1) == (3, 8)
+
+    def test_resident_range_clips_at_edges(self):
+        d = OverlappedBlock(16, 4, halo=2)
+        assert d.resident_range(0) == (0, 5)
+        assert d.resident_range(3) == (10, 15)
+
+    def test_is_resident(self):
+        d = OverlappedBlock(16, 4, halo=1)
+        assert d.is_resident(1, 3)   # left halo
+        assert d.is_resident(1, 8)   # right halo
+        assert not d.is_resident(1, 2)
+
+    def test_local_slot_offsets_by_left_halo(self):
+        d = OverlappedBlock(16, 4, halo=1)
+        assert d.local_slot(1, 3) == 0   # halo element first
+        assert d.local_slot(1, 4) == 1   # first owned element
+        assert d.local_slot(0, 0) == 0   # no left halo at the boundary
+
+    def test_local_slot_rejects_nonresident(self):
+        d = OverlappedBlock(16, 4, halo=1)
+        with pytest.raises(KeyError):
+            d.local_slot(1, 0)
+
+    def test_resident_size(self):
+        d = OverlappedBlock(16, 4, halo=1)
+        assert d.resident_size(0) == 5
+        assert d.resident_size(1) == 6
+
+    def test_negative_halo_rejected(self):
+        with pytest.raises(ValueError):
+            OverlappedBlock(16, 4, halo=-1)
+
+    def test_zero_halo_degenerates_to_block(self):
+        d = OverlappedBlock(16, 4, halo=0)
+        for p in range(4):
+            lo, hi = d.resident_range(p)
+            assert [lo, hi] == [d.owned(p)[0], d.owned(p)[-1]]
+
+
+class TestHaloExchange:
+    def test_every_halo_element_covered(self):
+        d = OverlappedBlock(16, 4, halo=2)
+        plan = halo_exchange_plan(d)
+        got = set()
+        for (src, dst), transfers in plan.items():
+            for t in transfers:
+                assert t.src_proc == src
+                assert t.dst_proc == dst
+                assert d.proc(t.global_index) == src
+                assert d.is_resident(dst, t.global_index)
+                assert d.proc(t.global_index) != dst
+                got.add((dst, t.global_index))
+        want = set()
+        for p in range(4):
+            lo, hi = d.resident_range(p)
+            for i in range(lo, hi + 1):
+                if d.proc(i) != p:
+                    want.add((p, i))
+        assert got == want
+
+    def test_slots_match_local_slot(self):
+        d = OverlappedBlock(16, 4, halo=1)
+        for transfers in halo_exchange_plan(d).values():
+            for t in transfers:
+                assert t.dst_slot == d.local_slot(t.dst_proc, t.global_index)
+
+    def test_interior_neighbours_only_for_small_halo(self):
+        d = OverlappedBlock(16, 4, halo=1)
+        for (src, dst) in halo_exchange_plan(d):
+            assert abs(src - dst) == 1
+
+    def test_zero_halo_no_exchange(self):
+        assert halo_exchange_plan(OverlappedBlock(16, 4, halo=0)) == {}
+
+    def test_message_volume(self):
+        d = OverlappedBlock(16, 4, halo=1)
+        plan = halo_exchange_plan(d)
+        # 3 interior boundaries, 2 copies each
+        assert sum(len(v) for v in plan.values()) == 6

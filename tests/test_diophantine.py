@@ -1,0 +1,157 @@
+"""Tests for extended Euclid and the Theorem 3 diophantine machinery (§3-4)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.diophantine import (
+    active_processors,
+    bezout_constant,
+    extended_euclid,
+    gcd_steps,
+    knuth_step_bound,
+    solve_scatter_congruence,
+)
+
+
+class TestExtendedEuclid:
+    @given(st.integers(0, 10**6), st.integers(0, 10**6))
+    def test_matches_math_gcd(self, a, b):
+        if a == 0 and b == 0:
+            return
+        assert extended_euclid(a, b).g == math.gcd(a, b)
+
+    @given(st.integers(0, 10**6), st.integers(0, 10**6))
+    def test_bezout_identity(self, a, b):
+        if a == 0 and b == 0:
+            return
+        r = extended_euclid(a, b)
+        assert r.x * a + r.y * b == r.g
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            extended_euclid(-1, 2)
+
+    def test_rejects_double_zero(self):
+        with pytest.raises(ValueError):
+            extended_euclid(0, 0)
+
+    def test_known_case(self):
+        r = extended_euclid(240, 46)
+        assert r.g == 2
+        assert 240 * r.x + 46 * r.y == 2
+
+
+class TestStepBounds:
+    """Section 4's complexity claims about Euclid."""
+
+    @given(st.integers(1, 10**6), st.integers(1, 10**6))
+    @settings(max_examples=300)
+    def test_knuth_worst_case_bound(self, a, b):
+        n = max(a, b) + 1
+        assert gcd_steps(a, b) <= knuth_step_bound(n) + 1.0
+
+    def test_small_a_max_five_steps(self):
+        # paper: "suppose a <= 7, then the maximal number of steps is 5"
+        worst = max(
+            gcd_steps(a, p) for a in range(1, 8) for p in range(1, 4096)
+        )
+        assert worst <= 5
+
+    def test_small_a_average_about_2_65(self):
+        # paper: average ≈ 2.65 for a <= 7
+        steps = [
+            gcd_steps(a, p) for a in range(1, 8) for p in range(1, 1024)
+        ]
+        avg = sum(steps) / len(steps)
+        assert 1.8 <= avg <= 3.2
+
+    def test_fibonacci_is_worst_case(self):
+        # consecutive Fibonacci numbers maximize the step count
+        fib = [1, 1]
+        while len(fib) < 25:
+            fib.append(fib[-1] + fib[-2])
+        assert gcd_steps(fib[20], fib[19]) >= 18
+
+
+class TestScatterCongruence:
+    """Theorem 3: solve a.i + c ≡ p (mod pmax)."""
+
+    @given(
+        st.integers(-8, 8).filter(lambda a: a),
+        st.integers(-10, 10),
+        st.integers(1, 12),
+        st.integers(0, 11),
+    )
+    @settings(max_examples=400)
+    def test_solutions_match_bruteforce(self, a, c, pmax, p):
+        if p >= pmax:
+            return
+        sol = solve_scatter_congruence(a, c, pmax, p)
+        want = [i for i in range(-50, 200) if (a * i + c) % pmax == p]
+        if sol is None:
+            assert want == []
+        else:
+            assert sol.solutions_in(-50, 199) == want
+
+    def test_no_solution_case(self):
+        # 2i ≡ 1 (mod 4) has no solution
+        assert solve_scatter_congruence(2, 0, 4, 1) is None
+
+    def test_stride_is_pmax_over_gcd(self):
+        sol = solve_scatter_congruence(6, 0, 8, 2)
+        assert sol is not None
+        assert sol.stride == 8 // math.gcd(6, 8)
+
+    def test_gen_and_t_range_cover_exactly(self):
+        sol = solve_scatter_congruence(3, 1, 7, 4)
+        assert sol is not None
+        tmin, tmax = sol.t_range(0, 100)
+        got = [sol.gen(t) for t in range(tmin, tmax + 1)]
+        assert got == sol.solutions_in(0, 100)
+
+    def test_empty_t_range_when_no_index_in_bounds(self):
+        sol = solve_scatter_congruence(1, 0, 10, 5)
+        tmin, tmax = sol.t_range(6, 14)  # only i=5 or 15 would match... none in [6,14]
+        assert tmin > tmax
+
+    def test_rejects_a_zero(self):
+        with pytest.raises(ValueError):
+            solve_scatter_congruence(0, 1, 4, 0)
+
+    def test_pmax_one_always_solves(self):
+        sol = solve_scatter_congruence(5, 3, 1, 0)
+        assert sol is not None
+        assert sol.stride == 1
+
+
+class TestActiveProcessors:
+    """Section 4: active processors are spaced gcd(a, pmax) apart."""
+
+    @given(
+        st.integers(-8, 8).filter(lambda a: a),
+        st.integers(0, 10),
+        st.integers(1, 12),
+    )
+    @settings(max_examples=300)
+    def test_matches_solvability(self, a, c, pmax):
+        act = active_processors(a, c, pmax)
+        for p in range(pmax):
+            sol = solve_scatter_congruence(a, c, pmax, p)
+            assert (p in act) == (sol is not None)
+
+    def test_spacing_is_gcd(self):
+        act = active_processors(6, 0, 9)  # gcd = 3
+        assert act == [0, 3, 6]
+
+    def test_all_active_when_coprime(self):
+        assert active_processors(5, 2, 8) == list(range(8))
+
+
+class TestBezoutConstant:
+    @given(st.integers(-8, 8).filter(lambda a: a), st.integers(1, 64))
+    def test_defining_property(self, a, pmax):
+        C = bezout_constant(a, pmax)
+        g = math.gcd(abs(a), pmax)
+        assert (a * C) % pmax == g % pmax

@@ -1,0 +1,30 @@
+"""Every example script must run to completion (they self-verify)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "examples must narrate what they do"
+
+
+def test_expected_example_set_present():
+    names = {p.stem for p in EXAMPLES}
+    assert {"quickstart", "heat_stencil", "matvec_spmd", "rotate_views",
+            "dynamic_redistribution", "doacross_pipeline",
+            "grid_2d_stencil", "autoselect_demo", "dot_product"} <= names

@@ -1,0 +1,116 @@
+"""Tests for V-cal expressions (paper Section 2.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.expr import BinOp, Const, LoopIndex, Ref, UnOp
+from repro.core.ifunc import AffineF, IdentityF
+from repro.core.view import ProjectedMap, SeparableMap
+
+
+def env1d():
+    return {"A": np.array([10.0, 20.0, 30.0, 40.0]),
+            "B": np.array([1.0, 2.0, 3.0, 4.0])}
+
+
+class TestAtoms:
+    def test_const(self):
+        assert Const(7).eval((0,), {}) == 7
+
+    def test_loop_index(self):
+        assert LoopIndex(0).eval((5,), {}) == 5
+        assert LoopIndex(1).eval((5, 9), {}) == 9
+
+    def test_ref_1d(self):
+        r = Ref("A", SeparableMap([AffineF(1, 1)]))
+        assert r.eval((1,), env1d()) == 30.0
+
+    def test_ref_2d(self):
+        env = {"M": np.arange(12.0).reshape(3, 4)}
+        r = Ref("M", SeparableMap([IdentityF(), IdentityF()]))
+        assert r.eval((2, 3), env) == 11.0
+
+    def test_ref_projected(self):
+        env = {"x": np.array([5.0, 6.0, 7.0])}
+        r = Ref("x", ProjectedMap([1], [IdentityF()]))
+        assert r.eval((0, 2), env) == 7.0
+
+    def test_scalar_func_extraction(self):
+        r = Ref("A", SeparableMap([AffineF(2, 1)]))
+        f = r.scalar_func()
+        assert f(3) == 7
+
+    def test_scalar_func_rejects_2d(self):
+        r = Ref("M", SeparableMap([IdentityF(), IdentityF()]))
+        with pytest.raises(ValueError):
+            r.scalar_func()
+
+    def test_scalar_func_accepts_projected_dim0(self):
+        r = Ref("A", ProjectedMap([0], [AffineF(1, 2)]))
+        assert r.scalar_func()(1) == 3
+
+
+class TestOperators:
+    def test_element_wise_reduction_rule(self):
+        # ∆[ip](V ⊕ W) = ∆([ip](V) + [ip](W)) — element-wise evaluation
+        ip = SeparableMap([AffineF(1, 0)])
+        e = BinOp("+", Ref("A", ip), Ref("B", ip))
+        env = env1d()
+        for i in range(4):
+            assert e.eval((i,), env) == env["A"][i] + env["B"][i]
+
+    def test_arith_ops(self):
+        two, three = Const(2), Const(3)
+        assert BinOp("*", two, three).eval((0,), {}) == 6
+        assert BinOp("-", two, three).eval((0,), {}) == -1
+        assert BinOp("div", Const(7), two).eval((0,), {}) == 3
+        assert BinOp("mod", Const(7), two).eval((0,), {}) == 1
+        assert BinOp("min", two, three).eval((0,), {}) == 2
+        assert BinOp("max", two, three).eval((0,), {}) == 3
+
+    def test_comparisons(self):
+        assert BinOp(">", Const(3), Const(2)).eval((0,), {})
+        assert BinOp("=", Const(3), Const(3)).eval((0,), {})
+        assert BinOp("!=", Const(3), Const(2)).eval((0,), {})
+        assert not BinOp("<=", Const(3), Const(2)).eval((0,), {})
+
+    def test_logic(self):
+        t, f = Const(True), Const(False)
+        assert BinOp("and", t, t).eval((0,), {})
+        assert not BinOp("and", t, f).eval((0,), {})
+        assert BinOp("or", f, t).eval((0,), {})
+
+    def test_unary(self):
+        assert UnOp("-", Const(5)).eval((0,), {}) == -5
+        assert UnOp("abs", Const(-5)).eval((0,), {}) == 5
+        assert UnOp("not", Const(False)).eval((0,), {})
+
+    def test_unknown_ops_rejected(self):
+        with pytest.raises(ValueError):
+            BinOp("**", Const(1), Const(2))
+        with pytest.raises(ValueError):
+            UnOp("~", Const(1))
+
+
+class TestSugarAndRefs:
+    def test_operator_sugar(self):
+        r = Ref("A", SeparableMap([IdentityF()]))
+        e = r * 2 + 1
+        assert e.eval((0,), env1d()) == 21.0
+
+    def test_comparison_sugar(self):
+        r = Ref("A", SeparableMap([IdentityF()]))
+        assert (r > 15).eval((1,), env1d())
+        assert (r < 15).eval((0,), env1d())
+
+    def test_lift_rejects_junk(self):
+        with pytest.raises(TypeError):
+            Ref("A", SeparableMap([IdentityF()])) + "nope"
+
+    def test_refs_traversal(self):
+        ip = SeparableMap([IdentityF()])
+        e = BinOp("+", Ref("A", ip), UnOp("-", Ref("B", ip)))
+        assert [r.name for r in e.refs()] == ["A", "B"]
+
+    def test_const_has_no_refs(self):
+        assert list(Const(1).refs()) == []

@@ -1,0 +1,338 @@
+"""Tests for the mini-language front end (lexer, parser, translation)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Ordering, copy_env, evaluate_program
+from repro.core.ifunc import AffineF, ConstantF, ModularF
+from repro.frontend import (
+    LexError,
+    ParseError,
+    TranslateError,
+    parse,
+    tokenize,
+    translate,
+    translate_source,
+)
+from repro.frontend import ast as A
+from repro.frontend.translate import classify_index_expr
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        toks = tokenize("for i := 0 to 9 do od")
+        kinds = [(t.kind, t.value) for t in toks]
+        assert kinds[0] == ("kw", "for")
+        assert kinds[1] == ("ident", "i")
+        assert kinds[2] == ("sym", ":=")
+        assert kinds[-1] == ("eof", None)
+
+    def test_numbers(self):
+        toks = tokenize("123 4")
+        assert toks[0].value == 123
+        assert toks[1].value == 4
+
+    def test_multi_char_symbols(self):
+        toks = tokenize("<= >= != :=")
+        assert [t.value for t in toks[:-1]] == ["<=", ">=", "!=", ":="]
+
+    def test_double_star_comment(self):
+        toks = tokenize("1 ** send all elem\n2")
+        assert [t.value for t in toks[:-1]] == [1, 2]
+
+    def test_hash_comment(self):
+        toks = tokenize("1 # comment\n2")
+        assert [t.value for t in toks[:-1]] == [1, 2]
+
+    def test_line_tracking(self):
+        toks = tokenize("a\nbb")
+        assert toks[0].line == 1
+        assert toks[1].line == 2
+
+    def test_bad_character(self):
+        with pytest.raises(LexError):
+            tokenize("a $ b")
+
+    def test_keywords_vs_idents(self):
+        toks = tokenize("form for")
+        assert toks[0].kind == "ident"
+        assert toks[1].kind == "kw"
+
+
+class TestParser:
+    def test_fig1_shape(self):
+        prog = parse("""
+            for i := k + 1 to n do
+                if A[i] > 0 then
+                    A[i] := B[i];
+                fi;
+            od;
+        """)
+        (loop,) = prog.body
+        assert isinstance(loop, A.For)
+        assert loop.var == "i"
+        assert loop.order == "seq"  # default
+        (iff,) = loop.body
+        assert isinstance(iff, A.If)
+        (asgn,) = iff.body
+        assert isinstance(asgn, A.Assign)
+        assert asgn.target.name == "A"
+
+    def test_par_annotation(self):
+        prog = parse("for i := 0 to 9 par do A[i] := 0; od")
+        assert prog.body[0].order == "par"
+
+    def test_precedence(self):
+        prog = parse("for i := 0 to 0 do A[i] := 1 + 2 * 3; od")
+        rhs = prog.body[0].body[0].value
+        assert isinstance(rhs, A.Bin) and rhs.op == "+"
+        assert isinstance(rhs.right, A.Bin) and rhs.right.op == "*"
+
+    def test_parentheses(self):
+        prog = parse("for i := 0 to 0 do A[i] := (1 + 2) * 3; od")
+        rhs = prog.body[0].body[0].value
+        assert rhs.op == "*"
+
+    def test_div_mod_keywords(self):
+        prog = parse("for i := 0 to 0 do A[i] := B[i div 2] + C[i mod 3]; od")
+        rhs = prog.body[0].body[0].value
+        assert rhs.left.indices[0].op == "div"
+        assert rhs.right.indices[0].op == "mod"
+
+    def test_multi_dim_subscript(self):
+        prog = parse("for i := 0 to 0 do A[i] := M[i, i + 1]; od")
+        sub = prog.body[0].body[0].value
+        assert len(sub.indices) == 2
+
+    def test_if_else(self):
+        prog = parse("""
+            for i := 0 to 4 do
+                if A[i] > 0 then A[i] := 1; else A[i] := 2; fi;
+            od
+        """)
+        iff = prog.body[0].body[0]
+        assert len(iff.body) == 1
+        assert len(iff.orelse) == 1
+
+    def test_logical_operators(self):
+        prog = parse("""
+            for i := 0 to 4 do
+                if A[i] > 0 and not (A[i] > 9) then A[i] := 1; fi;
+            od
+        """)
+        cond = prog.body[0].body[0].cond
+        assert cond.op == "and"
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse("for i := 0 to 4 do A[i] := 1 od")
+
+    def test_unclosed_loop(self):
+        with pytest.raises(ParseError):
+            parse("for i := 0 to 4 do A[i] := 1;")
+
+    def test_garbage_atom(self):
+        with pytest.raises(ParseError):
+            parse("for i := 0 to ; do od")
+
+
+class TestIndexClassification:
+    def p(self, text):
+        """Parse *text* as the subscript of A[...] and return the AST expr."""
+        prog = parse(f"for i := 0 to 0 do X[{text}] := 0; od")
+        return prog.body[0].body[0].target.indices[0]
+
+    def test_constant(self):
+        var, f = classify_index_expr(self.p("7"), {}, ("i",))
+        assert var is None
+        assert isinstance(f, ConstantF) and f.c == 7
+
+    def test_param_constant(self):
+        var, f = classify_index_expr(self.p("n - 1"), {"n": 10}, ("i",))
+        assert isinstance(f, ConstantF) and f.c == 9
+
+    def test_identity(self):
+        var, f = classify_index_expr(self.p("i"), {}, ("i",))
+        assert var == "i"
+        assert isinstance(f, AffineF) and (f.a, f.c) == (1, 0)
+
+    def test_shift(self):
+        _, f = classify_index_expr(self.p("i + 3"), {}, ("i",))
+        assert (f.a, f.c) == (1, 3)
+
+    def test_general_affine(self):
+        _, f = classify_index_expr(self.p("2 * i - 1"), {}, ("i",))
+        assert (f.a, f.c) == (2, -1)
+
+    def test_affine_with_params(self):
+        _, f = classify_index_expr(self.p("a * i + c"), {"a": 3, "c": 4}, ("i",))
+        assert (f.a, f.c) == (3, 4)
+
+    def test_negated(self):
+        _, f = classify_index_expr(self.p("n - i"), {"n": 20}, ("i",))
+        assert (f.a, f.c) == (-1, 20)
+
+    def test_modular_rotate(self):
+        _, f = classify_index_expr(self.p("(i + 6) mod 20"), {}, ("i",))
+        assert isinstance(f, ModularF)
+        assert (f.g.a, f.g.c, f.z, f.d) == (1, 6, 20, 0)
+
+    def test_modular_with_offset(self):
+        _, f = classify_index_expr(self.p("(i mod 10) + 2"), {}, ("i",))
+        assert isinstance(f, ModularF)
+        assert (f.z, f.d) == (10, 2)
+
+    def test_nonlinear_rejected(self):
+        with pytest.raises(TranslateError):
+            classify_index_expr(self.p("i * i"), {}, ("i",))
+
+    def test_div_of_loop_var_rejected(self):
+        with pytest.raises(TranslateError):
+            classify_index_expr(self.p("i div 2"), {}, ("i",))
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(TranslateError):
+            classify_index_expr(self.p("zz + 1"), {}, ("i",))
+
+
+class TestTranslation:
+    def test_fig1_translation(self):
+        """The paper's Fig. 1 correspondence, end to end."""
+        prog = translate_source("""
+            for i := k + 1 to n do
+                if A[i] > 0 then A[i] := B[2 * i + 1]; fi;
+            od;
+        """, params={"k": 2, "n": 9})
+        (cl,) = prog.clauses
+        assert cl.domain.bounds.scalar() == (3, 9)
+        assert cl.guard is not None
+        assert cl.lhs.name == "A"
+        assert cl.lhs.scalar_func()(5) == 5
+        (read,) = list(cl.rhs.refs())
+        assert read.name == "B"
+        assert read.scalar_func()(5) == 11
+
+    def test_default_order_is_seq(self):
+        prog = translate_source("for i := 0 to 4 do A[i] := 0; od")
+        assert prog.clauses[0].ordering is Ordering.SEQ
+
+    def test_par_order(self):
+        prog = translate_source("for i := 0 to 4 par do A[i] := 0; od")
+        assert prog.clauses[0].ordering is Ordering.PAR
+
+    def test_two_assignments_two_clauses(self):
+        prog = translate_source("""
+            for i := 0 to 4 par do
+                A[i] := 1;
+                B[i] := 2;
+            od
+        """)
+        assert len(prog.clauses) == 2
+        assert prog.clauses[0].lhs.name == "A"
+        assert prog.clauses[1].lhs.name == "B"
+
+    def test_sequential_loops_become_program(self):
+        prog = translate_source("""
+            for i := 0 to 4 par do A[i] := 1; od
+            for i := 0 to 4 par do B[i] := A[i]; od
+        """)
+        assert len(prog.clauses) == 2
+
+    def test_nested_loops_flatten_to_2d(self):
+        prog = translate_source("""
+            for i := 0 to 2 par do
+              for j := 0 to 3 par do
+                M[i, j] := i + j;
+              od
+            od
+        """)
+        (cl,) = prog.clauses
+        assert cl.domain.dim == 2
+        assert cl.ordering is Ordering.PAR
+
+    def test_mixed_order_nest_is_seq(self):
+        prog = translate_source("""
+            for i := 0 to 2 par do
+              for j := 0 to 3 seq do
+                y[i] := y[i] + M[i, j];
+              od
+            od
+        """)
+        assert prog.clauses[0].ordering is Ordering.SEQ
+
+    def test_else_rejected(self):
+        with pytest.raises(TranslateError):
+            translate_source("""
+                for i := 0 to 4 do
+                    if A[i] > 0 then A[i] := 1; else A[i] := 2; fi;
+                od
+            """)
+
+    def test_duplicate_loop_var_rejected(self):
+        with pytest.raises(TranslateError):
+            translate_source("""
+                for i := 0 to 2 do
+                  for i := 0 to 2 do
+                    A[i] := 0;
+                  od
+                od
+            """)
+
+    def test_top_level_assignment_rejected(self):
+        with pytest.raises(TranslateError):
+            translate(parse("A[0] := 1;"))
+
+    def test_nonconstant_bound_rejected(self):
+        with pytest.raises(TranslateError):
+            translate_source("for i := 0 to m do A[i] := 0; od")
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(TranslateError):
+            translate_source("for i := 0 to 4 do od")
+
+
+class TestTranslatedSemantics:
+    """Translated programs evaluate like hand-written Python."""
+
+    def test_fig1_execution(self, rng):
+        prog = translate_source("""
+            for i := 0 to 19 par do
+                if A[i] > 0 then A[i] := B[(i + 6) mod 20]; fi;
+            od;
+        """)
+        a = rng.integers(-5, 5, 20).astype(float)
+        b = rng.random(20)
+        env = {"A": a.copy(), "B": b.copy()}
+        evaluate_program(prog, env)
+        want = a.copy()
+        for i in range(20):
+            if a[i] > 0:
+                want[i] = b[(i + 6) % 20]
+        assert np.allclose(env["A"], want)
+
+    def test_matvec_execution(self, rng):
+        prog = translate_source("""
+            for i := 0 to 5 par do
+              for j := 0 to 7 seq do
+                y[i] := y[i] + M[i, j] * x[j];
+              od
+            od
+        """)
+        env = {"y": np.zeros(6), "M": rng.random((6, 8)), "x": rng.random(8)}
+        want = env["M"] @ env["x"]
+        evaluate_program(prog, env)
+        assert np.allclose(env["y"], want)
+
+    def test_loop_index_in_rhs(self):
+        prog = translate_source("for i := 0 to 4 par do A[i] := 3 * i; od")
+        env = {"A": np.zeros(5)}
+        evaluate_program(prog, env)
+        assert list(env["A"]) == [0.0, 3.0, 6.0, 9.0, 12.0]
+
+    def test_scalar_param_in_rhs(self):
+        prog = translate_source(
+            "for i := 0 to 4 par do A[i] := c; od", params={"c": 7}
+        )
+        env = {"A": np.zeros(5)}
+        evaluate_program(prog, env)
+        assert list(env["A"]) == [7.0] * 5

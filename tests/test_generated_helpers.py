@@ -1,0 +1,59 @@
+"""The arithmetic helpers embedded in generated source must agree with
+the library implementations they mirror — a guard against the two
+drifting apart."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.codegen.gensrc import SUPPORT_HELPERS
+from repro.core.ifunc import ceil_div, floor_div
+from repro.diophantine import solve_scatter_congruence
+
+_ns = {}
+exec(SUPPORT_HELPERS, _ns)
+gen_ceil = _ns["_ceil_div"]
+gen_floor = _ns["_floor_div"]
+gen_solve = _ns["_solve_congruence"]
+
+
+class TestDivisionHelpers:
+    @given(st.integers(-10**6, 10**6), st.integers(-1000, 1000).filter(bool))
+    def test_ceil_matches_library(self, a, b):
+        assert gen_ceil(a, b) == ceil_div(a, b)
+
+    @given(st.integers(-10**6, 10**6), st.integers(-1000, 1000).filter(bool))
+    def test_floor_matches_library(self, a, b):
+        assert gen_floor(a, b) == floor_div(a, b)
+
+
+class TestCongruenceHelper:
+    @given(
+        st.integers(-9, 9).filter(bool),
+        st.integers(-12, 12),
+        st.integers(1, 16),
+        st.integers(0, 15),
+    )
+    @settings(max_examples=500)
+    def test_matches_diophantine_module(self, a, c, pmax, p):
+        if p >= pmax:
+            return
+        lib = solve_scatter_congruence(a, c, pmax, p)
+        gen = gen_solve(a, c, pmax, p)
+        if lib is None:
+            assert gen is None
+        else:
+            assert gen is not None
+            x0, stride = gen
+            assert stride == lib.stride
+            assert x0 % stride == lib.x0 % stride
+            # and the progression actually solves the congruence
+            for t in range(3):
+                i = x0 + stride * t
+                assert (a * i + c) % pmax == p
+
+    def test_gcd_structure(self):
+        # inactive processor example from the paper: 2i ≡ 1 (mod 4)
+        assert gen_solve(2, 0, 4, 1) is None
+        sol = gen_solve(2, 0, 4, 2)
+        assert sol is not None and sol[1] == 2

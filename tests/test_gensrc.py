@@ -1,0 +1,105 @@
+"""Tests for inline generation-function source (Table I formulas as code)."""
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.codegen.gensrc import SUPPORT_HELPERS, segments_source
+from repro.core.ifunc import AffineF, ConstantF, ModularF, MonotoneF
+from repro.decomp import Block, BlockScatter, Replicated, Scatter, SingleOwner
+from repro.sets import optimize_access
+
+
+def run_fragment(acc, p):
+    """Execute the emitted fragment for processor *p*; return the
+    flattened index list."""
+    lines = segments_source(acc, "segs", "key")
+    ns = {}
+    exec(SUPPORT_HELPERS, ns)
+
+    class FakeRT:
+        def segments(self, key, pp):
+            enum = acc.enumerate(pp)
+            return [(s.lo, s.hi, s.step) for s in enum.segments]
+
+    ns["RT"] = FakeRT()
+    ns["p"] = p
+    exec("\n".join(lines), ns)
+    out = []
+    for lo, hi, stp in ns["segs"]:
+        out.extend(range(lo, hi + 1, stp))
+    return out
+
+
+class TestInlineForms:
+    def test_constant_folds_owner(self):
+        acc = optimize_access(Block(20, 4), ConstantF(9), 0, 15)
+        lines = segments_source(acc, "segs", "k")
+        assert any("p == 1" in l for l in lines)  # proc(9) = 1 with b=5
+
+    def test_block_affine_is_pure_arithmetic(self):
+        acc = optimize_access(Block(40, 4), AffineF(3, 1), 0, 12)
+        lines = segments_source(acc, "segs", "k")
+        assert not any("RT.segments" in l for l in lines)
+
+    def test_scatter_affine_uses_node_local_euclid(self):
+        acc = optimize_access(Scatter(100, 7), AffineF(3, 0), 0, 30)
+        lines = segments_source(acc, "segs", "k")
+        assert any("_solve_congruence" in l for l in lines)
+
+    def test_modular_falls_back_to_runtime_table(self):
+        acc = optimize_access(Scatter(20, 4), ModularF(AffineF(1, 6), 20),
+                              0, 19)
+        lines = segments_source(acc, "segs", "k")
+        assert any("RT.segments" in l for l in lines)
+
+    def test_blockscatter_falls_back(self):
+        acc = optimize_access(BlockScatter(40, 4, 2), AffineF(1, 0), 0, 39)
+        lines = segments_source(acc, "segs", "k")
+        assert any("RT.segments" in l for l in lines)
+
+    def test_single_owner(self):
+        acc = optimize_access(SingleOwner(20, 4, 2), AffineF(1, 0), 0, 19)
+        assert run_fragment(acc, 2) == list(range(20))
+        assert run_fragment(acc, 0) == []
+
+    def test_replicated(self):
+        acc = optimize_access(Replicated(20, 4), AffineF(1, 0), 3, 9)
+        for p in range(4):
+            assert run_fragment(acc, p) == list(range(3, 10))
+
+
+class TestFragmentsMatchEnumerators:
+    @given(
+        st.sampled_from(["block", "scatter"]),
+        st.integers(-5, 5).filter(lambda a: a),
+        st.integers(-8, 8),
+        st.integers(2, 50),
+        st.integers(1, 8),
+    )
+    @settings(max_examples=300)
+    def test_affine_fragments(self, kind, a, c, n, pmax):
+        d = Block(n, pmax) if kind == "block" else Scatter(n, pmax)
+        f = AffineF(a, c)
+        cand = [i for i in range(-20, 80) if 0 <= f(i) < n]
+        assume(cand)
+        imin, imax = min(cand), max(cand)
+        acc = optimize_access(d, f, imin, imax)
+        for p in range(pmax):
+            assert run_fragment(acc, p) == acc.indices(p), (
+                kind, a, c, n, pmax, p,
+            )
+
+    @given(st.integers(0, 39), st.integers(1, 8), st.integers(2, 40))
+    @settings(max_examples=150)
+    def test_constant_fragments(self, cval, pmax, n):
+        assume(cval < n)
+        for d in (Block(n, pmax), Scatter(n, pmax)):
+            acc = optimize_access(d, ConstantF(cval), 0, 25)
+            for p in range(pmax):
+                assert run_fragment(acc, p) == acc.indices(p)
+
+    def test_monotone_fragment_via_runtime_table(self):
+        f = MonotoneF(lambda i: i + i // 4, 1, "slow", derivative_max=1.25)
+        acc = optimize_access(Scatter(60, 4), f, 0, 40)
+        for p in range(4):
+            assert run_fragment(acc, p) == acc.indices(p)

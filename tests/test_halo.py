@@ -1,0 +1,148 @@
+"""Tests for generated halo-exchange stencil programs (§5 extension)."""
+
+import numpy as np
+import pytest
+
+from repro.codegen import compile_clause
+from repro.codegen.halo import compile_halo_stencil, run_halo_stencil
+from repro.core import (
+    PAR,
+    SEQ,
+    AffineF,
+    BinOp,
+    Clause,
+    IndexSet,
+    Ref,
+    SeparableMap,
+    copy_env,
+    evaluate_clause,
+)
+from repro.decomp import Block, OverlappedBlock
+
+N, PMAX = 64, 4
+
+
+def stencil(radius=1, n=N, src="U", dst="V"):
+    terms = [Ref(src, SeparableMap([AffineF(1, c)]))
+             for c in range(-radius, radius + 1)]
+    rhs = terms[0]
+    for t in terms[1:]:
+        rhs = BinOp("+", rhs, t)
+    return Clause(
+        domain=IndexSet.range1d(radius, n - 1 - radius),
+        lhs=Ref(dst, SeparableMap([AffineF(1, 0)])),
+        rhs=rhs,
+        ordering=PAR,
+    )
+
+
+def decomps(radius=1):
+    return {"U": OverlappedBlock(N, PMAX, halo=radius),
+            "V": OverlappedBlock(N, PMAX, halo=radius)}
+
+
+def env_for(seed=0):
+    rng = np.random.default_rng(seed)
+    return {"U": rng.random(N), "V": np.zeros(N)}
+
+
+class TestValidation:
+    def test_accepts_stencil(self):
+        plan = compile_halo_stencil(stencil(1), decomps(1))
+        assert plan.radius() == 1
+
+    def test_rejects_shift_beyond_halo(self):
+        with pytest.raises(ValueError, match="exceeds halo"):
+            compile_halo_stencil(stencil(2), decomps(1))
+
+    def test_rejects_seq(self):
+        cl = stencil(1)
+        cl.ordering = SEQ
+        with pytest.raises(ValueError, match="//-clauses"):
+            compile_halo_stencil(cl, decomps(1))
+
+    def test_rejects_non_overlapped(self):
+        ds = {"U": Block(N, PMAX), "V": OverlappedBlock(N, PMAX, 1)}
+        with pytest.raises(ValueError, match="OverlappedBlock"):
+            compile_halo_stencil(stencil(1), ds)
+
+    def test_rejects_strided_read(self):
+        cl = Clause(
+            IndexSet.range1d(0, N // 2 - 1),
+            Ref("V", SeparableMap([AffineF(1, 0)])),
+            Ref("U", SeparableMap([AffineF(2, 0)])),
+        )
+        with pytest.raises(ValueError, match="shifts"):
+            compile_halo_stencil(cl, decomps(1))
+
+    def test_rejects_domain_escaping_array(self):
+        cl = Clause(
+            IndexSet.range1d(0, N - 1),  # reads U[-1] at i=0
+            Ref("V", SeparableMap([AffineF(1, 0)])),
+            Ref("U", SeparableMap([AffineF(1, -1)])),
+        )
+        with pytest.raises(ValueError, match="leaves the array"):
+            compile_halo_stencil(cl, decomps(1))
+
+    def test_general_template_refuses_overlapped(self):
+        with pytest.raises(ValueError, match="halo"):
+            compile_clause(stencil(1), decomps(1))
+
+
+class TestExecution:
+    @pytest.mark.parametrize("radius", [1, 2, 3])
+    def test_matches_reference(self, radius):
+        cl = stencil(radius)
+        env0 = env_for()
+        ref = evaluate_clause(cl, copy_env(env0))["V"]
+        plan = compile_halo_stencil(cl, decomps(radius))
+        m = run_halo_stencil(plan, copy_env(env0))
+        assert np.allclose(m.collect("V"), ref)
+
+    def test_message_count_independent_of_radius(self):
+        # coalesced exchange: 2(pmax-1) messages per read array, whatever
+        # the radius — the whole point of halos
+        for radius in (1, 2, 4):
+            plan = compile_halo_stencil(stencil(radius), decomps(radius))
+            m = run_halo_stencil(plan, env_for())
+            assert m.stats.total_messages() == 2 * (PMAX - 1)
+
+    def test_element_volume_scales_with_radius(self):
+        vols = []
+        for radius in (1, 2, 4):
+            plan = compile_halo_stencil(stencil(radius), decomps(radius))
+            m = run_halo_stencil(plan, env_for())
+            vols.append(m.stats.total_elements_moved())
+        assert vols == [2 * (PMAX - 1) * r for r in (1, 2, 4)]
+
+    def test_iterated_jacobi(self):
+        # U/V ping-pong over several steps with halo refresh each step
+        radius = 1
+        env0 = env_for(seed=5)
+        ds = decomps(radius)
+        m = None
+        envs = copy_env(env0)
+        plans = {
+            ("U", "V"): compile_halo_stencil(stencil(radius, src="U", dst="V"), ds),
+            ("V", "U"): compile_halo_stencil(stencil(radius, src="V", dst="U"), ds),
+        }
+        src, dst = "U", "V"
+        for _ in range(6):
+            m = run_halo_stencil(plans[(src, dst)], envs, machine=m)
+            src, dst = dst, src
+        # sequential reference
+        ref = copy_env(env0)
+        src, dst = "U", "V"
+        for _ in range(6):
+            evaluate_clause(stencil(radius, src=src, dst=dst), ref)
+            src, dst = dst, src
+        assert np.allclose(m.collect(src), ref[src])
+
+    def test_guarded_stencil(self):
+        cl = stencil(1)
+        cl.guard = Ref("U", SeparableMap([AffineF(1, 0)])) > 0.5
+        env0 = env_for(seed=9)
+        ref = evaluate_clause(cl, copy_env(env0))["V"]
+        plan = compile_halo_stencil(cl, decomps(1))
+        m = run_halo_stencil(plan, copy_env(env0))
+        assert np.allclose(m.collect("V"), ref)

@@ -1,0 +1,157 @@
+"""Tests for reduction idiom recognition."""
+
+import numpy as np
+import pytest
+
+from repro.codegen.idioms import (
+    recognize_reduction,
+    run_clause_or_reduction,
+)
+from repro.core import (
+    PAR,
+    SEQ,
+    AffineF,
+    BinOp,
+    Clause,
+    ConstantF,
+    IndexSet,
+    Ref,
+    SeparableMap,
+    copy_env,
+    evaluate_clause,
+)
+from repro.decomp import Block, Scatter, SingleOwner
+from repro.frontend import translate_source
+
+N, PMAX = 32, 4
+
+
+def acc_ref(slot=0, name="s"):
+    return Ref(name, SeparableMap([ConstantF(slot)]))
+
+
+def accumulation_clause(op="+", slot=0, guard=None, body=None,
+                        ordering=SEQ):
+    body = body or Ref("B", SeparableMap([AffineF(1, 0)])) * 2
+    return Clause(
+        IndexSet.range1d(0, N - 1),
+        acc_ref(slot),
+        BinOp(op, acc_ref(slot), body),
+        ordering=ordering,
+        guard=guard,
+    )
+
+
+class TestRecognition:
+    def test_sum_idiom(self):
+        rec = recognize_reduction(accumulation_clause("+"))
+        assert rec is not None
+        assert rec.op == "+"
+        assert rec.accumulator == "s"
+        assert rec.slot == 0
+
+    @pytest.mark.parametrize("op", ["*", "min", "max"])
+    def test_other_ops(self, op):
+        assert recognize_reduction(accumulation_clause(op)).op == op
+
+    def test_accumulator_on_right(self):
+        cl = Clause(
+            IndexSet.range1d(0, N - 1),
+            acc_ref(),
+            BinOp("+", Ref("B", SeparableMap([AffineF(1, 0)])), acc_ref()),
+            ordering=SEQ,
+        )
+        assert recognize_reduction(cl) is not None
+
+    def test_par_clause_not_matched(self):
+        assert recognize_reduction(accumulation_clause(ordering=PAR)) is None
+
+    def test_non_reducible_op(self):
+        assert recognize_reduction(accumulation_clause("-")) is None
+
+    def test_non_constant_target_not_matched(self):
+        cl = Clause(
+            IndexSet.range1d(0, N - 1),
+            Ref("s", SeparableMap([AffineF(1, 0)])),
+            BinOp("+", Ref("s", SeparableMap([AffineF(1, 0)])),
+                  Ref("B", SeparableMap([AffineF(1, 0)]))),
+            ordering=SEQ,
+        )
+        assert recognize_reduction(cl) is None
+
+    def test_mismatched_slot_not_matched(self):
+        cl = Clause(
+            IndexSet.range1d(0, N - 1),
+            acc_ref(0),
+            BinOp("+", acc_ref(1), Ref("B", SeparableMap([AffineF(1, 0)]))),
+            ordering=SEQ,
+        )
+        assert recognize_reduction(cl) is None
+
+    def test_body_reading_accumulator_not_matched(self):
+        # s[0] := s[0] + s[i]: a genuine recurrence
+        body = Ref("s", SeparableMap([AffineF(1, 0)]))
+        assert recognize_reduction(accumulation_clause(body=body)) is None
+
+    def test_frontend_accumulation_recognized(self):
+        prog = translate_source("""
+            for i := 0 to 31 seq do
+                s[0] := s[0] + B[i] * B[i];
+            od
+        """)
+        rec = recognize_reduction(prog.clauses[0])
+        assert rec is not None
+        assert rec.op == "+"
+
+
+class TestExecution:
+    def env(self, rng):
+        return {"s": np.array([5.0]), "B": rng.random(N)}
+
+    def decomps(self):
+        return {"s": SingleOwner(1, PMAX, 0), "B": Scatter(N, PMAX)}
+
+    def test_reduction_path_taken_and_correct(self, rng):
+        cl = accumulation_clause("+")
+        env = self.env(rng)
+        ref = evaluate_clause(cl, copy_env(env))["s"]
+        m, path = run_clause_or_reduction(cl, self.decomps(), copy_env(env))
+        assert path == "reduction"
+        assert np.isclose(m.collect("s")[0], ref[0])
+
+    def test_initial_accumulator_value_folded(self, rng):
+        cl = accumulation_clause("+")
+        env = self.env(rng)  # s starts at 5.0
+        m, _ = run_clause_or_reduction(cl, self.decomps(), copy_env(env))
+        assert np.isclose(m.collect("s")[0], 5.0 + 2 * env["B"].sum())
+
+    def test_template_path_for_ordinary_clause(self, rng):
+        cl = Clause(
+            IndexSet.range1d(0, N - 1),
+            Ref("A", SeparableMap([AffineF(1, 0)])),
+            Ref("B", SeparableMap([AffineF(1, 0)])) + 1,
+            ordering=PAR,
+        )
+        env = {"A": np.zeros(N), "B": rng.random(N)}
+        decomps = {"A": Block(N, PMAX), "B": Block(N, PMAX)}
+        ref = evaluate_clause(cl, copy_env(env))["A"]
+        m, path = run_clause_or_reduction(cl, decomps, copy_env(env))
+        assert path == "template"
+        assert np.allclose(m.collect("A"), ref)
+
+    def test_max_reduction(self, rng):
+        cl = accumulation_clause("max")
+        env = {"s": np.array([-1e9]), "B": rng.random(N)}
+        ref = evaluate_clause(cl, copy_env(env))["s"]
+        m, path = run_clause_or_reduction(cl, self.decomps(), copy_env(env))
+        assert path == "reduction"
+        assert np.isclose(m.collect("s")[0], ref[0])
+
+    def test_guarded_reduction(self, rng):
+        guard = Ref("B", SeparableMap([AffineF(1, 0)])) > 0.5
+        cl = accumulation_clause("+", guard=guard)
+        env = self.env(rng)
+        ref = evaluate_clause(cl, copy_env(env))["s"]
+        m, path = run_clause_or_reduction(cl, self.decomps(), copy_env(env))
+        assert path == "reduction"
+        assert np.isclose(m.collect("s")[0], ref[0])

@@ -1,0 +1,233 @@
+"""Tests for the index-function algebra (paper Definitions 3-5, §3.3)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.ifunc import (
+    AffineF,
+    ComposedF,
+    ConstantF,
+    IdentityF,
+    ModularF,
+    MonotoneF,
+    ceil_div,
+    classify,
+    floor_div,
+)
+
+
+class TestIntegerDivision:
+    @given(st.integers(-1000, 1000), st.integers(-50, 50).filter(lambda b: b))
+    def test_floor_div_matches_math(self, a, b):
+        import math
+
+        assert floor_div(a, b) == math.floor(a / b)
+
+    @given(st.integers(-1000, 1000), st.integers(-50, 50).filter(lambda b: b))
+    def test_ceil_div_matches_math(self, a, b):
+        import math
+
+        assert ceil_div(a, b) == math.ceil(a / b)
+
+    def test_known_values(self):
+        assert floor_div(7, 2) == 3
+        assert floor_div(-7, 2) == -4
+        assert ceil_div(7, 2) == 4
+        assert ceil_div(-7, 2) == -3
+
+
+class TestConstantF:
+    def test_eval(self):
+        assert ConstantF(5)(123) == 5
+
+    def test_preimage_hit(self):
+        assert ConstantF(5).preimage(0, 10, 3, 8) == [(3, 8)]
+
+    def test_preimage_miss(self):
+        assert ConstantF(11).preimage(0, 10, 3, 8) == []
+
+    def test_classify(self):
+        assert classify(ConstantF(0)) == "constant"
+
+    def test_image_bounds(self):
+        assert ConstantF(7).image_bounds(0, 100) == (7, 7)
+
+    def test_equality(self):
+        assert ConstantF(3) == ConstantF(3)
+        assert ConstantF(3) != ConstantF(4)
+
+
+class TestAffineF:
+    def test_eval(self):
+        assert AffineF(3, 2)(5) == 17
+
+    def test_rejects_zero_slope(self):
+        with pytest.raises(ValueError):
+            AffineF(0, 1)
+
+    def test_identity(self):
+        f = IdentityF()
+        assert f(42) == 42
+        assert classify(f) == "shift"
+
+    def test_monotone_direction(self):
+        assert AffineF(2, 0).monotone_direction(0, 10) == 1
+        assert AffineF(-2, 0).monotone_direction(0, 10) == -1
+
+    def test_derivative_bound(self):
+        assert AffineF(-3, 5).derivative_bound(0, 10) == 3.0
+
+    @given(
+        st.integers(-5, 5).filter(lambda a: a),
+        st.integers(-10, 10),
+        st.integers(-30, 30),
+        st.integers(0, 40),
+    )
+    def test_preimage_is_exact(self, a, c, lo, span):
+        hi = lo + span
+        f = AffineF(a, c)
+        got = []
+        for jmin, jmax in f.preimage(lo, hi, -50, 50):
+            got.extend(range(jmin, jmax + 1))
+        want = [i for i in range(-50, 51) if lo <= f(i) <= hi]
+        assert got == want
+
+    def test_affine_composition_stays_affine(self):
+        f = AffineF(2, 1).compose(AffineF(3, 4))
+        assert isinstance(f, AffineF)
+        # 2*(3i+4)+1 = 6i + 9
+        assert (f.a, f.c) == (6, 9)
+
+    def test_affine_of_constant_is_constant(self):
+        f = AffineF(2, 1).compose(ConstantF(10))
+        assert isinstance(f, ConstantF)
+        assert f.c == 21
+
+    def test_classify_shift_vs_affine(self):
+        assert classify(AffineF(1, 3)) == "shift"
+        assert classify(AffineF(2, 3)) == "affine"
+
+
+class TestMonotoneF:
+    def test_requires_valid_direction(self):
+        with pytest.raises(ValueError):
+            MonotoneF(lambda i: i, 0)
+
+    @given(st.integers(-20, 60), st.integers(0, 60))
+    def test_preimage_increasing(self, lo, span):
+        hi = lo + span
+        f = MonotoneF(lambda i: i + i // 4, 1, "i+i div 4")
+        got = []
+        for jmin, jmax in f.preimage(lo, hi, 0, 60):
+            got.extend(range(jmin, jmax + 1))
+        want = [i for i in range(0, 61) if lo <= f(i) <= hi]
+        assert got == want
+
+    @given(st.integers(-80, 20), st.integers(0, 60))
+    def test_preimage_decreasing(self, lo, span):
+        hi = lo + span
+        f = MonotoneF(lambda i: -2 * i + 5, -1, "-2i+5")
+        got = []
+        for jmin, jmax in f.preimage(lo, hi, 0, 40):
+            got.extend(range(jmin, jmax + 1))
+        want = [i for i in range(0, 41) if lo <= f(i) <= hi]
+        assert got == want
+
+    def test_quadratic_preimage(self):
+        f = MonotoneF(lambda i: i * i, 1, "i^2")
+        assert f.preimage(9, 25, 0, 100) == [(3, 5)]
+
+    def test_solve(self):
+        f = MonotoneF(lambda i: i * i, 1, "i^2")
+        assert f.solve(16, 0, 100) == [4]
+        assert f.solve(17, 0, 100) == []
+
+    def test_derivative_bound_explicit(self):
+        f = MonotoneF(lambda i: 3 * i, 1, derivative_max=3.0)
+        assert f.derivative_bound(0, 100) == 3.0
+
+    def test_derivative_bound_sampled(self):
+        f = MonotoneF(lambda i: i + i // 4, 1)
+        assert 1.0 <= f.derivative_bound(0, 100) <= 2.0
+
+
+class TestModularF:
+    """§3.3: f(i) = g(i) mod z + d, e.g. the rotate f(i) = (i+6) mod 20."""
+
+    def test_rotate_values(self):
+        f = ModularF(AffineF(1, 6), 20)
+        assert [f(i) for i in (0, 13, 14, 19)] == [6, 19, 0, 5]
+
+    def test_rejects_nonpositive_modulus(self):
+        with pytest.raises(ValueError):
+            ModularF(AffineF(1, 0), 0)
+
+    def test_injectivity_criterion(self):
+        f = ModularF(AffineF(1, 6), 20)
+        assert f.is_injective_on(0, 19)  # z=20 > g(19)-g(0)=19
+        assert not f.is_injective_on(0, 20)
+
+    def test_breakpoint_of_rotate(self):
+        # g(i) = i+6 crosses 20 at i = 14
+        f = ModularF(AffineF(1, 6), 20)
+        assert f.breakpoints(0, 19) == [14]
+
+    def test_no_breakpoint_within_one_period(self):
+        f = ModularF(AffineF(1, 2), 100)
+        assert f.breakpoints(0, 19) == []
+        assert f.monotone_direction(0, 19) == 1
+
+    def test_multiple_breakpoints(self):
+        f = ModularF(AffineF(1, 0), 5)
+        assert f.breakpoints(0, 14) == [5, 10]
+
+    def test_pieces_reconstruct_function(self):
+        f = ModularF(AffineF(2, 3), 11, d=1)
+        for lo, hi, piece in f.pieces(0, 30):
+            for i in range(lo, hi + 1):
+                assert piece(i) == f(i), (lo, hi, i)
+
+    def test_pieces_cover_range_exactly(self):
+        f = ModularF(AffineF(1, 6), 20)
+        pieces = f.pieces(0, 19)
+        covered = []
+        for lo, hi, _ in pieces:
+            covered.extend(range(lo, hi + 1))
+        assert covered == list(range(0, 20))
+
+    @given(
+        st.integers(1, 3), st.integers(0, 12), st.integers(3, 25),
+        st.integers(0, 4), st.integers(0, 10), st.integers(0, 50),
+    )
+    @settings(max_examples=150)
+    def test_preimage_is_exact(self, a, c, z, d, imin, span):
+        imax = imin + span
+        f = ModularF(AffineF(a, c), z, d)
+        lo, hi = d + 1, d + z // 2
+        got = []
+        for jmin, jmax in f.preimage(lo, hi, imin, imax):
+            got.extend(range(jmin, jmax + 1))
+        want = [i for i in range(imin, imax + 1) if lo <= f(i) <= hi]
+        assert got == want
+
+    def test_classify(self):
+        assert classify(ModularF(AffineF(1, 0), 7)) == "modular"
+
+
+class TestComposedF:
+    def test_eval(self):
+        f = ComposedF(MonotoneF(lambda i: i * i, 1, "i^2"), AffineF(1, 1))
+        assert f(3) == 16
+
+    def test_preimage(self):
+        # (i+1)^2 in [4, 16]  =>  i in [1, 3]
+        f = ComposedF(MonotoneF(lambda i: i * i, 1, "i^2"), AffineF(1, 1))
+        assert f.preimage(4, 16, 0, 50) == [(1, 3)]
+
+    def test_monotone_direction_flips(self):
+        f = ComposedF(AffineF(-1, 0), AffineF(-2, 0))
+        assert f.monotone_direction(0, 10) == 1
+
+    def test_image_bounds(self):
+        f = ComposedF(AffineF(2, 0), AffineF(1, 3))
+        assert f.image_bounds(0, 5) == (6, 16)

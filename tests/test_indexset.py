@@ -1,0 +1,95 @@
+"""Tests for index sets (paper Definition 2)."""
+
+import pytest
+
+from repro.core.bounds import Bounds
+from repro.core.indexset import TRUE, IndexSet, Predicate
+
+
+class TestPredicate:
+    def test_call(self):
+        p = Predicate(lambda i: i[0] > 0, "pos")
+        assert p((1,))
+        assert not p((0,))
+
+    def test_true_identity_of_and(self):
+        p = Predicate(lambda i: i[0] % 2 == 0, "even")
+        assert (TRUE & p) is p
+        assert (p & TRUE) is p
+
+    def test_conjunction(self):
+        even = Predicate(lambda i: i[0] % 2 == 0, "even")
+        small = Predicate(lambda i: i[0] < 5, "small")
+        both = even & small
+        assert both((2,))
+        assert not both((6,))
+        assert not both((3,))
+
+    def test_compose_pulls_back(self):
+        # P(i) = i >= 4 pulled back through ip(i) = 2i gives i >= 2
+        p = Predicate(lambda i: i[0] >= 4, "ge4")
+        q = p.compose(lambda i: (2 * i[0],), "2i")
+        assert q((2,))
+        assert not q((1,))
+
+
+class TestDefinition2Example:
+    def test_example2(self):
+        # I = (b, P) with l=(0,0), u=(2,2), P((i1,i2)) = i1 < i2
+        # yields {(0,1), (0,2), (1,2)}
+        I = IndexSet(
+            Bounds((0, 0), (2, 2)),
+            Predicate(lambda i: i[0] < i[1], "i1<i2"),
+        )
+        assert I.materialize() == [(0, 1), (0, 2), (1, 2)]
+
+
+class TestQueries:
+    def test_range1d(self):
+        I = IndexSet.range1d(2, 5)
+        assert list(I.iter_scalar()) == [2, 3, 4, 5]
+
+    def test_of_shape(self):
+        I = IndexSet.of_shape(2, 3)
+        assert I.size() == 6
+        assert I.bounds.upper == (1, 2)
+
+    def test_membership_uses_predicate(self):
+        I = IndexSet.range1d(0, 9, Predicate(lambda i: i[0] % 3 == 0, "div3"))
+        assert 0 in I
+        assert 3 in I
+        assert 4 not in I
+        assert 12 not in I  # outside bounds
+
+    def test_is_empty(self):
+        assert IndexSet.range1d(5, 2).is_empty()
+        assert not IndexSet.range1d(0, 0).is_empty()
+        never = IndexSet.range1d(0, 10, Predicate(lambda i: False, "no"))
+        assert never.is_empty()
+
+    def test_size_counts_predicate_members(self):
+        I = IndexSet.range1d(0, 9, Predicate(lambda i: i[0] % 2 == 0, "even"))
+        assert I.size() == 5
+
+
+class TestAlgebra:
+    def test_restrict(self):
+        I = IndexSet.range1d(0, 9)
+        J = I.restrict(Predicate(lambda i: i[0] > 7, "gt7"))
+        assert J.materialize() == [(8,), (9,)]
+
+    def test_intersect(self):
+        I = IndexSet.range1d(0, 6, Predicate(lambda i: i[0] % 2 == 0, "even"))
+        J = IndexSet.range1d(3, 9)
+        K = I.intersect(J)
+        assert K.materialize() == [(4,), (6,)]
+
+    def test_same_members(self):
+        I = IndexSet.range1d(1, 3)
+        assert I.same_members([1, 2, 3])
+        assert I.same_members([(1,), (2,), (3,)])
+        assert not I.same_members([1, 2])
+
+    def test_iter_scalar_rejects_2d(self):
+        with pytest.raises(ValueError):
+            list(IndexSet.of_shape(2, 2).iter_scalar())

@@ -1,0 +1,49 @@
+"""Public API surface sanity."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_all_names_resolve():
+    for name in repro.__all__:
+        if name == "__version__":
+            continue
+        assert hasattr(repro, name), name
+
+
+@pytest.mark.parametrize("module", [
+    "repro.core", "repro.decomp", "repro.sets", "repro.codegen",
+    "repro.machine", "repro.frontend", "repro.diophantine",
+    "repro.baselines", "repro.report", "repro.cli",
+])
+def test_submodule_all_resolves(module):
+    mod = importlib.import_module(module)
+    for name in getattr(mod, "__all__", []):
+        assert hasattr(mod, name), f"{module}.{name}"
+
+
+def test_key_entry_points_importable():
+    from repro import (  # noqa: F401
+        Block,
+        Scatter,
+        compile_clause,
+        evaluate_program,
+        run_distributed,
+        run_shared,
+        translate_source,
+    )
+    from repro.codegen import (  # noqa: F401
+        choose_static,
+        compile_doacross,
+        compile_halo_stencil,
+        compile_indirect,
+        compile_reduce,
+        run_program_shared,
+    )

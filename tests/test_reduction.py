@@ -1,0 +1,162 @@
+"""Tests for generated reductions (local fold + tree/linear combine)."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.codegen.reduction import (
+    ReduceOp,
+    compile_reduce,
+    reference_reduce,
+    run_reduce,
+)
+from repro.core import AffineF, IndexSet, Ref, SeparableMap
+from repro.decomp import Block, Replicated, Scatter
+from repro.machine import DistributedMachine
+
+N, PMAX = 32, 4
+
+
+def b_ref(shift=0):
+    return Ref("B", SeparableMap([AffineF(1, shift)]))
+
+
+def mk_plan(op="+", guard=None, iter_kind="block", read_kind="block",
+            lo=0, hi=N - 1):
+    decs = {"block": Block(N, PMAX), "scatter": Scatter(N, PMAX),
+            "replicated": Replicated(N, PMAX)}
+    return compile_reduce(
+        op, IndexSet.range1d(lo, hi), b_ref() * 2,
+        {"B": decs[read_kind]}, decs[iter_kind], guard=guard,
+    )
+
+
+@pytest.fixture
+def env(rng):
+    return {"B": rng.random(N) + 0.5}
+
+
+class TestReduceOp:
+    def test_known_ops(self):
+        assert ReduceOp("+").identity == 0.0
+        assert ReduceOp("*").identity == 1.0
+        assert ReduceOp("min").fn(3, 5) == 3
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            ReduceOp("xor")
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("op", ["+", "*", "min", "max"])
+    @pytest.mark.parametrize("combine", ["tree", "linear"])
+    def test_matches_reference(self, op, combine, env):
+        plan = mk_plan(op=op)
+        want = reference_reduce(plan, env)
+        _m, got = run_reduce(plan, env, combine=combine)
+        assert np.isclose(got, want)
+
+    def test_numpy_oracle(self, env):
+        plan = mk_plan("+")
+        _m, got = run_reduce(plan, env)
+        assert np.isclose(got, 2 * env["B"].sum())
+
+    def test_partial_domain(self, env):
+        plan = mk_plan("+", lo=5, hi=20)
+        _m, got = run_reduce(plan, env)
+        assert np.isclose(got, 2 * env["B"][5:21].sum())
+
+    def test_guarded(self, env):
+        guard = b_ref() > 1.0
+        plan = mk_plan("+", guard=guard)
+        _m, got = run_reduce(plan, env)
+        want = 2 * env["B"][env["B"] > 1.0].sum()
+        assert np.isclose(got, want)
+
+    @pytest.mark.parametrize("iter_kind", ["block", "scatter"])
+    @pytest.mark.parametrize("read_kind", ["block", "scatter", "replicated"])
+    def test_decomposition_grid(self, iter_kind, read_kind, env):
+        plan = mk_plan("+", iter_kind=iter_kind, read_kind=read_kind)
+        _m, got = run_reduce(plan, env)
+        assert np.isclose(got, 2 * env["B"].sum())
+
+    def test_allreduce_everyone_has_result(self, env):
+        plan = mk_plan("+")
+        m, got = run_reduce(plan, env, allreduce=True)
+        for mem in m.memories:
+            assert float(mem["__result__"][0]) == got
+
+    def test_single_processor(self, rng):
+        env = {"B": rng.random(8)}
+        plan = compile_reduce("+", IndexSet.range1d(0, 7), b_ref(),
+                              {"B": Block(8, 1)}, Block(8, 1))
+        _m, got = run_reduce(plan, env)
+        assert np.isclose(got, env["B"].sum())
+
+    @pytest.mark.parametrize("pmax", [3, 5, 7])
+    def test_non_power_of_two_tree(self, pmax, rng):
+        env = {"B": rng.random(N)}
+        plan = compile_reduce("+", IndexSet.range1d(0, N - 1), b_ref(),
+                              {"B": Block(N, pmax)}, Block(N, pmax))
+        _m, got = run_reduce(plan, env, combine="tree", allreduce=True)
+        assert np.isclose(got, env["B"].sum())
+
+
+class TestCombineStructure:
+    def test_both_send_pmax_minus_1_messages(self, env):
+        for combine in ("tree", "linear"):
+            plan = mk_plan("+")
+            m, _ = run_reduce(plan, env, combine=combine)
+            # aligned operands: only combine messages on the wire
+            assert m.stats.total_messages() == PMAX - 1, combine
+
+    def test_tree_critical_path_shorter(self, rng):
+        # paced traces: the linear combine's root folds serially, the
+        # tree folds in log2 p levels
+        pmax, n = 8, 64
+        env = {"B": rng.random(n)}
+
+        def makespan(combine):
+            plan = compile_reduce("+", IndexSet.range1d(0, n - 1),
+                                  Ref("B", SeparableMap([AffineF(1, 0)])),
+                                  {"B": Block(n, pmax)}, Block(n, pmax))
+            trace = []
+            run_reduce(plan, env, combine=combine, trace=trace, paced=True)
+            return max(ev.round for ev in trace)
+
+        assert makespan("tree") < makespan("linear")
+
+    def test_validation(self, env):
+        plan = mk_plan("+")
+        with pytest.raises(ValueError, match="combine"):
+            run_reduce(plan, env, combine="ring")
+
+    def test_domain_must_fit_iter_dec(self):
+        with pytest.raises(ValueError, match="covers"):
+            compile_reduce("+", IndexSet.range1d(0, 50), b_ref(),
+                           {"B": Block(N, PMAX)}, Block(N, PMAX))
+
+
+class TestRemoteOperands:
+    def test_misaligned_operand_fetched(self, rng):
+        # iterations block-owned, data scatter-owned: operands travel
+        env = {"B": rng.random(N)}
+        plan = mk_plan("+", iter_kind="block", read_kind="scatter")
+        m, got = run_reduce(plan, env)
+        assert np.isclose(got, 2 * env["B"].sum())
+        assert m.stats.total_messages() > PMAX - 1
+
+    @given(st.integers(0, 2**16), st.integers(2, 7))
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_property_random(self, seed, pmax):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 40))
+        env = {"B": rng.random(n)}
+        plan = compile_reduce(
+            "+", IndexSet.range1d(0, n - 1),
+            Ref("B", SeparableMap([AffineF(1, 0)])),
+            {"B": Scatter(n, pmax)}, Block(n, pmax),
+        )
+        _m, got = run_reduce(plan, env, combine="tree")
+        assert np.isclose(got, env["B"].sum())

@@ -1,0 +1,57 @@
+"""Tests for the reporting helpers."""
+
+import numpy as np
+
+from repro.codegen import compile_clause, run_distributed
+from repro.core import AffineF, Clause, IndexSet, Ref, SeparableMap
+from repro.decomp import Block, Scatter
+from repro.machine import HYPERCUBE, MachineStats
+from repro.report import format_run, format_table, run_summary
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table("t", ["col", "x"], [["a", 1], ["long", 22]])
+        lines = out.splitlines()
+        assert lines[0] == "=== t ==="
+        assert "col" in lines[1]
+        assert all(len(l) <= len(lines[1]) + 2 for l in lines[2:])
+
+    def test_empty_rows(self):
+        out = format_table("t", ["a", "b"], [])
+        assert "a" in out
+
+
+class TestRunSummary:
+    def run(self):
+        cl = Clause(
+            IndexSet.range1d(0, 19),
+            Ref("A", SeparableMap([AffineF(1, 0)])),
+            Ref("B", SeparableMap([AffineF(1, 0)])) + 1,
+        )
+        plan = compile_clause(cl, {"A": Block(20, 4), "B": Scatter(20, 4)})
+        rng = np.random.default_rng(0)
+        return run_distributed(plan, {"A": np.zeros(20), "B": rng.random(20)})
+
+    def test_summary_keys(self):
+        m = self.run()
+        s = run_summary(m.stats)
+        assert {"messages", "updates", "tests", "load_imbalance"} <= set(s)
+        assert "modeled_makespan" not in s
+
+    def test_summary_with_model(self):
+        m = self.run()
+        s = run_summary(m.stats, HYPERCUBE)
+        assert s["modeled_makespan"] > 0
+        assert s["modeled_speedup"] > 0
+
+    def test_format_run_line(self):
+        m = self.run()
+        line = format_run("demo", m.stats, HYPERCUBE)
+        assert line.startswith("demo:")
+        assert "messages=" in line
+        assert "speedup=" in line
+
+    def test_empty_stats(self):
+        s = run_summary(MachineStats.for_nodes(2))
+        assert s["updates"] == 0

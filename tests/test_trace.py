@@ -1,0 +1,141 @@
+"""Tests for scheduler tracing and pipeline-overlap analysis."""
+
+import numpy as np
+import pytest
+
+from repro.codegen.doacross import compile_doacross, make_doacross_program
+from repro.core import (
+    SEQ,
+    AffineF,
+    Clause,
+    IndexSet,
+    Ref,
+    SeparableMap,
+)
+from repro.decomp import Block, Scatter
+from repro.machine import Barrier, DistributedMachine, Network, Recv, run_spmd
+from repro.machine.scheduler import TraceEvent
+from repro.machine.trace import activity_spans, overlap_factor, render_timeline
+
+
+class TestTraceCollection:
+    def test_events_recorded(self):
+        net = Network(2)
+        trace = []
+
+        def node(p):
+            yield Barrier()
+
+        run_spmd([node(0), node(1)], net, trace=trace)
+        kinds = {ev.kind for ev in trace}
+        assert "step" in kinds
+        assert "barrier" in kinds
+        assert "retire" in kinds
+
+    def test_recv_event(self):
+        net = Network(2)
+        trace = []
+
+        def sender():
+            net.send(0, 1, "t", 42)
+            return
+            yield
+
+        def receiver():
+            _ = yield Recv(0, "t")
+
+        run_spmd([sender(), receiver()], net, trace=trace)
+        assert any(ev.kind == "recv" and ev.p == 1 for ev in trace)
+
+    def test_no_trace_by_default(self):
+        net = Network(1)
+
+        def node():
+            return
+            yield
+
+        run_spmd([node()], net)  # must not crash without trace
+
+
+class TestAnalysis:
+    def test_activity_spans(self):
+        trace = [TraceEvent(0, 0, "step"), TraceEvent(5, 0, "step"),
+                 TraceEvent(2, 1, "step"), TraceEvent(3, 1, "retire")]
+        spans = activity_spans(trace)
+        assert spans[0] == (0, 5)
+        assert spans[1] == (2, 2)
+
+    def test_overlap_factor_serialized(self):
+        trace = [TraceEvent(r, r % 2, "step") for r in range(10)]
+        assert overlap_factor(trace) == 1.0
+
+    def test_overlap_factor_parallel(self):
+        trace = [TraceEvent(r, p, "step") for r in range(5) for p in range(4)]
+        assert overlap_factor(trace) == 4.0
+
+    def test_overlap_empty(self):
+        assert overlap_factor([]) == 0.0
+
+    def test_render_timeline(self):
+        trace = [TraceEvent(0, 0, "step"), TraceEvent(1, 1, "barrier")]
+        out = render_timeline(trace, 2)
+        assert "p0" in out and "p1" in out
+        assert "#" in out and "B" in out
+
+    def test_render_empty(self):
+        assert "empty" in render_timeline([], 2)
+
+
+class TestDoacrossPipelineTrace:
+    """Trace-level structure of DOACROSS pipelines, observed with the
+    paced (one-iteration-per-round) node programs."""
+
+    def _run(self, mk_dec, s=1, n=48, pmax=4):
+        cl = Clause(
+            IndexSet.range1d(s, n - 1),
+            Ref("A", SeparableMap([AffineF(1, 0)])),
+            Ref("A", SeparableMap([AffineF(1, -s)])) * 0.5
+            + Ref("B", SeparableMap([AffineF(1, 0)])),
+            ordering=SEQ,
+        )
+        rng = np.random.default_rng(0)
+        env = {"A": rng.random(n), "B": rng.random(n)}
+        dA, dB = mk_dec(n, pmax), mk_dec(n, pmax)
+        plan = compile_doacross(cl, {"A": dA, "B": dB})
+        m = DistributedMachine(pmax)
+        m.place("A", env["A"], dA)
+        m.place("B", env["B"], dB)
+        trace = []
+        m.run(lambda ctx: make_doacross_program(plan, ctx, paced=True),
+              trace=trace)
+        return trace
+
+    def test_block_chain_is_nearly_serial(self):
+        # s=1 under block: node k starts only after node k-1 finished its
+        # whole block — makespan ≈ one round per iteration
+        trace = self._run(lambda n, p: Block(n, p), s=1, n=48)
+        assert max(ev.round for ev in trace) >= 44
+
+    def test_block_staggers_dependence_arrival(self):
+        trace = self._run(lambda n, p: Block(n, p), s=1, n=48, pmax=4)
+        first_recv = {}
+        for ev in trace:
+            if ev.kind == "recv" and ev.p not in first_recv:
+                first_recv[ev.p] = ev.round
+        arrivals = [first_recv[p] for p in sorted(first_recv)]
+        assert arrivals == sorted(arrivals)
+        assert arrivals[-1] - arrivals[0] >= 20  # ≈ 2 blocks apart
+
+    def test_dependence_distance_deepens_the_pipeline(self):
+        # s independent chains overlap: makespan shrinks ~proportionally
+        rounds = {}
+        for s in (1, 2, 4):
+            t = self._run(lambda n, p: Scatter(n, p), s=s, n=48)
+            rounds[s] = max(ev.round for ev in t)
+        assert rounds[1] >= rounds[2] >= rounds[4]
+        assert rounds[1] >= 1.7 * rounds[4]
+
+    def test_timeline_renders(self):
+        trace = self._run(lambda n, p: Block(n, p), s=1, n=24)
+        out = render_timeline(trace, 4)
+        assert out.count("|") >= 8

@@ -1,0 +1,183 @@
+"""Tests for views and view composition (paper Definitions 4-5)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.bounds import Bounds
+from repro.core.ifunc import AffineF, ConstantF, IdentityF
+from repro.core.indexset import IndexSet, Predicate
+from repro.core.view import (
+    GeneralMap,
+    ProjectedMap,
+    SeparableMap,
+    View,
+    identity_map,
+)
+
+
+class TestSeparableMap:
+    def test_apply(self):
+        m = SeparableMap([AffineF(2, 0), AffineF(1, 3)])
+        assert m((4, 5)) == (8, 8)
+
+    def test_arity_check(self):
+        m = SeparableMap([AffineF(1, 0)])
+        with pytest.raises(ValueError):
+            m((1, 2))
+
+    def test_compose_separable(self):
+        outer = SeparableMap([AffineF(2, 0)])
+        inner = SeparableMap([AffineF(1, 3)])
+        comp = outer.compose(inner)
+        assert isinstance(comp, SeparableMap)
+        assert comp((5,)) == (16,)
+
+    def test_compose_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            SeparableMap([AffineF(1, 0)]).compose(
+                SeparableMap([AffineF(1, 0), AffineF(1, 0)])
+            )
+
+    def test_identity_map(self):
+        m = identity_map(3)
+        assert m((4, 5, 6)) == (4, 5, 6)
+
+
+class TestProjectedMap:
+    def test_lower_rank_reference(self):
+        # y[i] inside an (i, j) loop
+        m = ProjectedMap([0], [IdentityF()])
+        assert m((3, 7)) == (3,)
+
+    def test_transposed_reference(self):
+        # B[j, i] inside an (i, j) loop
+        m = ProjectedMap([1, 0], [IdentityF(), IdentityF()])
+        assert m((3, 7)) == (7, 3)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ProjectedMap([0, 1], [IdentityF()])
+
+
+class TestViewApplication:
+    def test_definition4_predicate_pullback(self):
+        # I = (0:10, i>=4); view ip(i) = 2i, K = (0:5)
+        I = IndexSet.range1d(0, 10, Predicate(lambda i: i[0] >= 4, "ge4"))
+        V = View(IndexSet.range1d(0, 5), SeparableMap([AffineF(2, 0)]))
+        J = V.apply(I)
+        # J members: i in 0:5 with 2i in I and 2i >= 4 -> i in 2..5
+        assert list(J.iter_scalar()) == [2, 3, 4, 5]
+
+    def test_bounds_intersection_with_dp(self):
+        I = IndexSet.range1d(0, 10)
+        V = View(
+            IndexSet.range1d(0, 100),
+            SeparableMap([IdentityF()]),
+            dp=lambda b: Bounds(b.lower[0], b.upper[0] - 6),
+            dp_name="u-6",
+        )
+        J = V.apply(I)
+        assert J.bounds.scalar() == (0, 4)
+
+    def test_select_single_index(self):
+        V = View(IndexSet.range1d(0, 5), SeparableMap([AffineF(1, 1)]))
+        assert V.select((3,)) == (4,)
+
+
+class TestExample5:
+    """Paper Example 5, verbatim."""
+
+    def make_views(self):
+        V = View(
+            IndexSet.range1d(0, 1, Predicate(lambda i: i[0] >= 1, "ge1")),
+            SeparableMap([AffineF(1, 2)]),
+            dp=lambda b: Bounds(b.lower[0] - 2, b.upper[0] - 2),
+            dp_name="i-2",
+        )
+        W = View(
+            IndexSet.range1d(0, 10, Predicate(lambda i: i[0] >= 4, "ge4")),
+            SeparableMap([AffineF(2, 0)]),
+            dp=lambda b: Bounds(b.lower[0] // 2, b.upper[0] // 2),
+            dp_name="i div 2",
+        )
+        return V, W
+
+    def test_composed_ip(self):
+        V, W = self.make_views()
+        U = V.compose(W)
+        # ip_v∘w(i) = 2.(i+2) = 2i + 4
+        assert U.ip((0,)) == (4,)
+        assert U.ip((3,)) == (10,)
+
+    def test_composed_bounds(self):
+        V, W = self.make_views()
+        U = V.compose(W)
+        # b_v∘w = (0,1) & (0-2, 10-2) = (0, 1)
+        assert U.K.bounds.scalar() == (0, 1)
+
+    def test_composed_predicate(self):
+        V, W = self.make_views()
+        U = V.compose(W)
+        # P_v∘w(i) = {i>=4}∘ip_v ∧ {i>=1} = {i+2>=4 and i>=1} = {i>=2}
+        assert not U.K.predicate((1,))
+        assert U.K.predicate((2,))
+
+    def test_composed_dp(self):
+        V, W = self.make_views()
+        U = V.compose(W)
+        # dp_v∘w(i) = (i div 2) - 2
+        out = U.dp(Bounds(0, 10))
+        assert out.scalar() == (-2, 3)
+
+    def test_matmul_operator(self):
+        V, W = self.make_views()
+        assert (V @ W).ip((0,)) == V.compose(W).ip((0,))
+
+
+class TestCompositionLaws:
+    @given(
+        st.integers(-3, 3).filter(lambda a: a),
+        st.integers(-5, 5),
+        st.integers(-3, 3).filter(lambda a: a),
+        st.integers(-5, 5),
+        st.integers(-3, 3).filter(lambda a: a),
+        st.integers(-5, 5),
+        st.integers(-10, 10),
+    )
+    def test_composition_associative_on_ip(self, a1, c1, a2, c2, a3, c3, x):
+        def mk(a, c):
+            return View(IndexSet.range1d(-100, 100),
+                        SeparableMap([AffineF(a, c)]))
+
+        u, v, w = mk(a1, c1), mk(a2, c2), mk(a3, c3)
+        lhs = u.compose(v).compose(w)
+        rhs = u.compose(v.compose(w))
+        assert lhs.ip((x,)) == rhs.ip((x,))
+
+    @given(st.integers(-3, 3).filter(lambda a: a), st.integers(-5, 5),
+           st.integers(-10, 10))
+    def test_identity_view_is_neutral(self, a, c, x):
+        I = View(IndexSet.range1d(-1000, 1000), identity_map(1))
+        V = View(IndexSet.range1d(-100, 100), SeparableMap([AffineF(a, c)]))
+        assert V.compose(I).ip((x,)) == V.ip((x,))
+        assert I.compose(V).ip((x,)) == V.ip((x,))
+
+
+class TestContraction:
+    """Definition 5's derived result: parameter-expression contraction."""
+
+    def test_contraction_of_two_selections(self):
+        # ∆(i ∈ I)[ip1] ∆(j ∈ J)[ip2] == ∆(i ∈ I ∩ (b, R∘ip1))[ip2∘ip1]
+        ip1 = SeparableMap([AffineF(1, 1)])
+        ip2 = SeparableMap([AffineF(2, 0)])
+        J = IndexSet.range1d(0, 20, Predicate(lambda i: i[0] % 2 == 0, "even"))
+        I = IndexSet.range1d(0, 10)
+        contracted_pred = J.predicate.compose(ip1, "ip1")
+        domain = I.restrict(contracted_pred)
+        comp = ip2.compose(ip1)
+        # every i in contracted domain maps through ip2∘ip1 in one hop
+        for (i,) in domain:
+            assert comp((i,)) == ip2(ip1((i,)))
+        # and the contracted domain = {i in I | ip1(i) in J}
+        want = [i for i in range(0, 11) if (i + 1) % 2 == 0]
+        assert list(domain.iter_scalar()) == want
