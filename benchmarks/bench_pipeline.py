@@ -1,0 +1,141 @@
+"""Record scalar vs vectorized executor timings into BENCH_pipeline.json.
+
+Runs the two workloads the pipeline issue names — the E13 1-D stencil
+(block and scatter reads) and the E19 2-D five-point stencil on a
+processor grid — through the same compiled plans under both backends,
+checks the results are bit-identical, and writes per-workload wall
+times, message counts, and speedups to ``BENCH_pipeline.json`` at the
+repository root.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_pipeline.py
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.codegen import compile_clause, run_distributed
+from repro.codegen.nddist import (
+    collect_nd,
+    compile_clause_nd_dist,
+    run_distributed_nd,
+)
+from repro.core import (
+    AffineF,
+    Bounds,
+    Clause,
+    Const,
+    IdentityF,
+    IndexSet,
+    Ref,
+    SeparableMap,
+    copy_env,
+)
+from repro.core.expr import BinOp
+from repro.decomp import Block, GridDecomposition, Scatter
+
+REPS = 5
+SEED = 2026
+
+
+def _best_of(fn, reps=REPS):
+    best, out = float("inf"), None
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, out
+
+
+def _e13_workloads():
+    """E13: A[i] := B[i-1] + B[i+1], n=512 on 8 nodes."""
+    n, pmax = 512, 8
+    cl = Clause(
+        domain=IndexSet.range1d(1, n - 2),
+        lhs=Ref("A", SeparableMap([AffineF(1, 0)])),
+        rhs=Ref("B", SeparableMap([AffineF(1, -1)]))
+        + Ref("B", SeparableMap([AffineF(1, 1)])),
+    )
+    rng = np.random.default_rng(SEED)
+    env0 = {"A": np.zeros(n), "B": rng.random(n)}
+    for label, d_b in (("e13-stencil-block/block", Block(n, pmax)),
+                       ("e13-stencil-block/scatter", Scatter(n, pmax))):
+        plan = compile_clause(cl, {"A": Block(n, pmax), "B": d_b})
+        yield (label,
+               lambda backend, plan=plan: run_distributed(
+                   plan, copy_env(env0), backend=backend),
+               lambda m: m.collect("A"))
+
+
+def _e19_workload():
+    """E19: five-point stencil, 48x48 matrix on a 4x4 processor grid."""
+    n, p_side = 48, 4
+
+    def sref(di, dj):
+        fi = AffineF(1, di) if di else IdentityF()
+        fj = AffineF(1, dj) if dj else IdentityF()
+        return Ref("S", SeparableMap([fi, fj]))
+
+    cl = Clause(
+        IndexSet(Bounds((1, 1), (n - 2, n - 2))),
+        Ref("T", SeparableMap([IdentityF(), IdentityF()])),
+        BinOp("*", Const(0.25),
+              BinOp("+", BinOp("+", sref(-1, 0), sref(1, 0)),
+                    BinOp("+", sref(0, -1), sref(0, 1)))),
+    )
+    g = GridDecomposition([Block(n, p_side), Block(n, p_side)])
+    plan = compile_clause_nd_dist(cl, {"T": g, "S": g})
+    rng = np.random.default_rng(SEED)
+    env0 = {"S": rng.random((n, n)), "T": np.zeros((n, n))}
+    yield ("e19-grid-2d-tiles",
+           lambda backend: run_distributed_nd(
+               plan, copy_env(env0), backend=backend),
+           lambda m: collect_nd(m, "T"))
+
+
+def main() -> int:
+    entries = []
+    for label, run, collect in [*_e13_workloads(), *_e19_workload()]:
+        t_s, m_s = _best_of(lambda: run("scalar"))
+        t_v, m_v = _best_of(lambda: run("vector"))
+        identical = bool(np.array_equal(collect(m_s), collect(m_v)))
+        entry = {
+            "workload": label,
+            "scalar_ms": round(t_s * 1e3, 3),
+            "vector_ms": round(t_v * 1e3, 3),
+            "speedup": round(t_s / t_v, 2),
+            "scalar_messages": m_s.stats.total_messages(),
+            "vector_messages": m_v.stats.total_messages(),
+            "elements_moved": m_s.stats.total_elements_moved(),
+            "identical_results": identical,
+        }
+        assert identical, label
+        entries.append(entry)
+        print(f"{label:28s} scalar {entry['scalar_ms']:8.1f} ms  "
+              f"vector {entry['vector_ms']:7.1f} ms  "
+              f"{entry['speedup']:5.1f}x  msgs "
+              f"{entry['scalar_messages']} -> {entry['vector_messages']}")
+
+    out = {
+        "benchmark": "pipeline scalar vs vectorized segment executor",
+        "reps": REPS,
+        "seed": SEED,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "results": entries,
+    }
+    path = Path(__file__).resolve().parent.parent / "BENCH_pipeline.json"
+    path.write_text(json.dumps(out, indent=2) + "\n")
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -47,18 +47,22 @@ def parse_decomposition(spec: str, pmax: int) -> tuple[str, Decomposition]:
         raise SystemExit(
             f"bad --array spec {spec!r}; expected NAME=KIND:SIZE[:PARAM]"
         )
-    if kind == "block":
-        return name, Block(n, pmax, b=param)
-    if kind == "scatter":
-        return name, Scatter(n, pmax)
-    if kind == "bs":
-        if param is None:
-            raise SystemExit(f"--array {spec!r}: bs needs a block size")
-        return name, BlockScatter(n, pmax, param)
-    if kind == "single":
-        return name, SingleOwner(n, pmax, param or 0)
-    if kind == "replicated":
-        return name, Replicated(n, pmax)
+    try:
+        if kind == "block":
+            return name, Block(n, pmax, b=param)
+        if kind == "scatter":
+            return name, Scatter(n, pmax)
+        if kind == "bs":
+            if param is None:
+                raise SystemExit(f"--array {spec!r}: bs needs a block size")
+            return name, BlockScatter(n, pmax, param)
+        if kind == "single":
+            return name, SingleOwner(n, pmax, param or 0)
+        if kind == "replicated":
+            return name, Replicated(n, pmax)
+    except ValueError as e:
+        # constructor rejections (e.g. block size too small for n/pmax)
+        raise SystemExit(f"bad --array spec {spec!r}: {e}")
     raise SystemExit(f"unknown decomposition kind {kind!r}")
 
 
@@ -124,8 +128,21 @@ def cmd_compile(args) -> int:
         print("rules:")
         for access, rule in plan.rules().items():
             print(f"    {access:14s} -> {rule}")
+        if getattr(args, "explain", False) and plan.trace is not None:
+            print()
+            print(plan.trace.pretty(verbose=args.verbose))
         print()
-        print(emit_distributed_source(plan))
+        backend = getattr(args, "backend", "scalar")
+        if backend == "vector":
+            from .codegen.pysource import CodegenError
+
+            try:
+                print(emit_distributed_source(plan, backend="vector"))
+            except CodegenError as e:
+                print(f"# vector emission unavailable ({e}); scalar form:")
+                print(emit_distributed_source(plan))
+        else:
+            print(emit_distributed_source(plan))
     return 0
 
 
@@ -137,7 +154,8 @@ def cmd_run(args) -> int:
     if args.shared:
         from .codegen.barriers import run_program_shared
 
-        machine, barriers = run_program_shared(program, decomps, env0)
+        machine, barriers = run_program_shared(program, decomps, env0,
+                                               backend=args.backend)
         ok = True
         for name in {c.lhs.name for c in program}:
             good = np.allclose(machine.env[name], ref[name])
@@ -150,7 +168,7 @@ def cmd_run(args) -> int:
     ok = True
     for clause in program:
         plan = compile_clause(clause, decomps)
-        machine = run_distributed(plan, env0)
+        machine = run_distributed(plan, env0, backend=args.backend)
         result = machine.collect(plan.write_name)
         env0[plan.write_name] = result  # thread state between clauses
         good = np.allclose(result, ref[plan.write_name])
@@ -205,6 +223,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     comp = sub.add_parser("compile", help="emit generated node programs")
     common(comp)
+    comp.add_argument("--explain", action="store_true",
+                      help="print the pass pipeline trace (ordered passes "
+                           "with per-pass rewrite counts and timings)")
+    comp.add_argument("--verbose", action="store_true",
+                      help="with --explain: include before/after IR "
+                           "snapshots per pass")
+    comp.add_argument("--backend", choices=("scalar", "vector"),
+                      default="scalar",
+                      help="flavor of emitted node program")
     comp.set_defaults(fn=cmd_compile)
 
     run = sub.add_parser("run", help="execute on the simulated machine")
@@ -214,6 +241,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--shared", action="store_true",
                      help="run on the shared-memory machine with barrier "
                           "elimination (whole program, fused phases)")
+    run.add_argument("--backend", choices=("scalar", "vector"),
+                     default="scalar",
+                     help="scalar per-element templates or the NumPy "
+                          "vectorized segment executor")
     run.set_defaults(fn=cmd_run)
 
     der = sub.add_parser("derive", help="print the §2.6 rewrite chain")

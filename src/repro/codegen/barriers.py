@@ -121,11 +121,17 @@ def plan_barriers(
     program: Program, decomps: Dict[str, Decomposition]
 ) -> List[bool]:
     """``flags[k]`` — is a barrier needed after clause ``k``?  The final
-    barrier (program end) is always kept."""
+    barrier (program end) is always kept.
+
+    Decided by the pipeline's `eliminate-barriers` pass: each clause is
+    compiled with its successor so the decision lands in the pass trace."""
+    from ..pipeline import compile_plan
+
     clauses = program.clauses
     flags: List[bool] = []
     for c1, c2 in zip(clauses, clauses[1:]):
-        flags.append(not barrier_removable(c1, c2, decomps))
+        ir = compile_plan(c1, decomps, successor=c2)
+        flags.append(ir.barrier_needed)
     flags.append(True)
     return flags
 
@@ -135,6 +141,7 @@ def run_program_shared(
     decomps: Dict[str, Decomposition],
     env: Dict[str, np.ndarray],
     eliminate_barriers: bool = True,
+    backend: str = "scalar",
 ) -> Tuple[SharedMachine, int]:
     """Execute a multi-clause program on the shared-memory machine.
 
@@ -143,7 +150,13 @@ def run_program_shared(
     goes — legal exactly because the analysis showed no datum crosses a
     processor across (or within) the fused phases.  Returns the machine
     and the number of barriers actually executed.
+
+    ``backend="vector"`` applies to unfused ``//`` phases; fused runs
+    keep the scalar walk (their legality proof is about the interleaved
+    per-node commit order, which batching would reorder).
     """
+    if backend not in ("scalar", "vector"):
+        raise ValueError(f"unknown backend {backend!r}")
     pmax = max(d.pmax for d in decomps.values())
     machine = SharedMachine(pmax, env)
     flags = (plan_barriers(program, decomps) if eliminate_barriers
@@ -171,7 +184,7 @@ def run_program_shared(
         if len(group) == 1:
             from .shared_tmpl import run_shared
 
-            run_shared(plans[0], machine.env, machine)
+            run_shared(plans[0], machine.env, machine, backend=backend)
             barriers += 1
             continue
         # fused execution: node-major, per-clause per-node buffering

@@ -135,17 +135,28 @@ def run_distributed(
     env: Dict[str, np.ndarray],
     machine: Optional[DistributedMachine] = None,
     decomps: Optional[Dict[str, object]] = None,
+    backend: str = "scalar",
 ) -> DistributedMachine:
     """Place *env* on a distributed machine, run the clause, return the
     machine (use ``machine.collect(name)`` for the post-state).
 
     When *machine* is given it must already hold the placed arrays.
+    ``backend="vector"`` batches communication into one message per
+    (read, peer) pair and executes each phase as NumPy array operations;
+    replicated writes (a per-copy broadcast) keep the scalar path.
     """
+    if backend not in ("scalar", "vector"):
+        raise ValueError(f"unknown backend {backend!r}")
     if plan.clause.ordering is Ordering.SEQ:
         raise NotImplementedError(
             "distributed DOACROSS (the paper's 'more complicated orderings') "
             "is not generated; use the shared-memory template for • clauses"
         )
+    ir = getattr(plan, "ir", None)
+    if backend == "vector" and ir is not None and not plan.write_replicated:
+        from ..machine.vectorize import run_distributed_vector
+
+        return run_distributed_vector(ir, env, machine)
     if machine is None:
         machine = DistributedMachine(plan.pmax)
         all_decomps = {plan.write_name: plan.write_dec}

@@ -17,7 +17,7 @@ is cheaper replicated — exactly the trade-off the matvec example shows.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Generator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -113,6 +113,9 @@ class NDDistPlan:
     reads: List[_NDAccess]
     loop_bounds: List[Tuple[int, int]]
     pmax: int
+    #: unified pipeline IR and pass trace (set by ``compile_clause_nd_dist``)
+    ir: object = field(default=None, repr=False, compare=False)
+    trace: object = field(default=None, repr=False, compare=False)
 
     def rules(self) -> Dict[str, str]:
         out = {}
@@ -127,19 +130,30 @@ class NDDistPlan:
 def compile_clause_nd_dist(
     clause: Clause, decomps: Dict[str, AnyDec]
 ) -> NDDistPlan:
-    """Compile a d-dimensional ``//`` clause for distributed execution."""
+    """Compile a d-dimensional ``//`` clause for distributed execution.
+
+    A shim over the unified pass pipeline: the historical contract
+    (``//`` only, no replicated write, matching ranks and processor
+    counts) is enforced here, then the Plan IR is projected onto
+    :class:`NDDistPlan`."""
     if clause.ordering is not Ordering.PAR:
         raise ValueError("ND distributed generation handles // clauses")
-    bounds = clause.domain.bounds
-    loop_bounds = list(zip(bounds.lower, bounds.upper))
+
+    def check_rank(name: str, imap, dec: AnyDec) -> None:
+        _dims, funcs = _access_spec(imap)
+        axes = (dec.dims if isinstance(dec, GridDecomposition) else (dec,))
+        if len(axes) != len(funcs):
+            raise ValueError(
+                f"access rank {len(funcs)} of {name!r} != decomposition "
+                f"rank {len(axes)}"
+            )
 
     wd = decomps[clause.lhs.name]
     if isinstance(wd, Replicated):
         raise ValueError("replicated writes are not supported in ND mode")
-    write = _compile_access(clause.lhs.name, clause.lhs.imap, wd, loop_bounds)
+    check_rank(clause.lhs.name, clause.lhs.imap, wd)
     pmax = wd.pmax
 
-    reads = []
     for ref in clause.reads():
         dec = decomps[ref.name]
         if dec.pmax != pmax and not isinstance(dec, Replicated):
@@ -148,11 +162,13 @@ def compile_clause_nd_dist(
                 f"write over {pmax}"
             )
         if isinstance(dec, Replicated):
-            dims, funcs = _access_spec(ref.imap)
-            reads.append(_NDAccess(ref.name, dec, dims, funcs, []))
+            _access_spec(ref.imap)  # same shape error as before
         else:
-            reads.append(_compile_access(ref.name, ref.imap, dec, loop_bounds))
-    return NDDistPlan(clause, write, reads, loop_bounds, pmax)
+            check_rank(ref.name, ref.imap, dec)
+
+    from ..pipeline import compile_plan
+
+    return compile_plan(clause, decomps).to_nd_dist_plan()
 
 
 def _read_local(ctx: NodeContext, read: _NDAccess, idx: Index):
@@ -215,9 +231,21 @@ def run_distributed_nd(
     plan: NDDistPlan,
     env: Dict[str, np.ndarray],
     machine: Optional[DistributedMachine] = None,
+    backend: str = "scalar",
 ) -> DistributedMachine:
     """Place *env* (grid decompositions get nd-local layouts), run the
-    clause, return the machine; use :func:`collect_nd` for grid arrays."""
+    clause, return the machine; use :func:`collect_nd` for grid arrays.
+
+    ``backend="vector"`` batches each (read, peer) transfer into a single
+    value-vector message and evaluates the clause body as NumPy array
+    operations over the factorized membership products.
+    """
+    if backend not in ("scalar", "vector"):
+        raise ValueError(f"unknown backend {backend!r}")
+    if backend == "vector" and plan.ir is not None:
+        from ..machine.vectorize import run_distributed_vector
+
+        return run_distributed_vector(plan.ir, env, machine)
     decs: Dict[str, AnyDec] = {plan.write.name: plan.write.dec}
     for read in plan.reads:
         decs.setdefault(read.name, read.dec)

@@ -18,7 +18,7 @@ owning node.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -60,6 +60,9 @@ class NDPlan:
     #: loop bounds per loop dimension
     loop_bounds: List[Tuple[int, int]]
     pmax: int
+    #: unified pipeline IR and pass trace (set by ``compile_clause_nd``)
+    ir: object = field(default=None, repr=False, compare=False)
+    trace: object = field(default=None, repr=False, compare=False)
 
     def rules(self) -> Dict[str, str]:
         return {
@@ -88,7 +91,10 @@ def compile_clause_nd(
     clause: Clause, decomps: Dict[str, AnyDec]
 ) -> NDPlan:
     """Compile a d-dimensional clause against a grid decomposition of the
-    written array (shared-memory execution)."""
+    written array (shared-memory execution).
+
+    A shim over the unified pass pipeline: reads address global memory
+    directly here, so only the written array needs a decomposition."""
     out_dims, funcs = _lhs_dims_funcs(clause)
     if len(set(out_dims)) != len(out_dims):
         raise ValueError(
@@ -100,26 +106,35 @@ def compile_clause_nd(
         raise ValueError(
             f"write decomposition rank {ndim_w} != access rank {len(funcs)}"
         )
-    bounds = clause.domain.bounds
-    loop_bounds = list(zip(bounds.lower, bounds.upper))
-    dims_1d = (wd.dims if isinstance(wd, GridDecomposition) else (wd,))
-    dim_access = []
-    for k, f in enumerate(funcs):
-        lo, hi = loop_bounds[out_dims[k]]
-        dim_access.append(optimize_access(dims_1d[k], f, lo, hi))
-    pmax = wd.pmax
-    return NDPlan(clause, wd, out_dims, dim_access, loop_bounds, pmax)
+    from ..pipeline import compile_plan
+
+    return compile_plan(
+        clause, decomps, require_read_decomps=False
+    ).to_nd_plan()
 
 
 def run_shared_nd(
     plan: NDPlan,
     env: Dict[str, np.ndarray],
     machine: Optional[SharedMachine] = None,
+    backend: str = "scalar",
 ) -> SharedMachine:
-    """Execute on the shared-memory machine (direct global addressing)."""
+    """Execute on the shared-memory machine (direct global addressing).
+
+    ``backend="vector"`` runs ``//`` clauses through the NumPy segment
+    executor; • clauses (a serial chain) always take the scalar path.
+    """
+    if backend not in ("scalar", "vector"):
+        raise ValueError(f"unknown backend {backend!r}")
     clause = plan.clause
     if machine is None:
         machine = SharedMachine(plan.pmax, env)
+
+    if (backend == "vector" and clause.ordering is Ordering.PAR
+            and plan.ir is not None):
+        from ..machine.vectorize import run_shared_vector
+
+        return run_shared_vector(plan.ir, env, machine)
 
     if clause.ordering is Ordering.SEQ:
         # global lexicographic serialization, charged to owners

@@ -72,6 +72,9 @@ class SPMDPlan:
     reads: List[CompiledRead]
     pmax: int
     compile_work: Work = field(default_factory=Work)
+    #: unified pipeline IR and pass trace (set by ``compile_clause``)
+    ir: object = field(default=None, repr=False, compare=False)
+    trace: object = field(default=None, repr=False, compare=False)
 
     @property
     def write_name(self) -> str:
@@ -113,9 +116,13 @@ def compile_clause(
 ) -> SPMDPlan:
     """Compile a 1-D canonical clause against per-array decompositions.
 
-    Raises ``KeyError`` when an array lacks a decomposition and
-    ``ValueError`` for clause shapes outside the paper's canonical form
-    (non-1-D domains).
+    A thin shim over the unified pass pipeline
+    (:func:`repro.pipeline.compile_plan`): it enforces this entry point's
+    historical contract, then projects the Plan IR back onto
+    :class:`SPMDPlan` (the IR and pass trace ride along as ``plan.ir`` /
+    ``plan.trace``).  Raises ``KeyError`` when an array lacks a
+    decomposition and ``ValueError`` for clause shapes outside the
+    paper's canonical form (non-1-D domains).
     """
     if clause.domain.dim != 1:
         raise ValueError(
@@ -131,33 +138,19 @@ def compile_clause(
                 "structures address local memory through halo slots — use "
                 "repro.codegen.halo.compile_halo_stencil instead"
             )
-    imin, imax = clause.domain.bounds.scalar()
-
     write_dec = decomps[clause.lhs.name]
-    write_func = clause.lhs.scalar_func()
+    clause.lhs.scalar_func()  # same non-separable ValueError as always
     pmax = write_dec.pmax
 
-    modify = optimize_access(write_dec, write_func, imin, imax)
-
-    reads: List[CompiledRead] = []
-    for pos, ref in enumerate(clause.reads()):
+    for ref in clause.reads():
         dec = decomps[ref.name]
         if dec.pmax != pmax:
             raise ValueError(
                 f"array {ref.name!r} decomposed over {dec.pmax} processors, "
                 f"but {clause.lhs.name!r} over {pmax}"
             )
-        func = ref.scalar_func()
-        reside = optimize_access(dec, func, imin, imax)
-        reads.append(CompiledRead(ref, dec, func, pos, reside))
+        ref.scalar_func()
 
-    return SPMDPlan(
-        clause=clause,
-        imin=imin,
-        imax=imax,
-        write_dec=write_dec,
-        write_func=write_func,
-        modify=modify,
-        reads=reads,
-        pmax=pmax,
-    )
+    from ..pipeline import compile_plan
+
+    return compile_plan(clause, decomps).to_spmd_plan()

@@ -22,8 +22,15 @@ from typing import Callable, Dict, List, Tuple
 
 from ..core.expr import Ref
 from ..decomp.replicated import Replicated
-from .exprsrc import CodegenError, expr_src, ifunc_src, local_src, proc_src
-from .gensrc import SUPPORT_HELPERS, segments_source
+from .exprsrc import (
+    CodegenError,
+    expr_src,
+    ifunc_src,
+    local_src,
+    proc_src,
+    vexpr_src,
+)
+from .gensrc import SUPPORT_HELPERS, VECTOR_HELPERS, segments_source
 from .plan import SPMDPlan
 
 __all__ = ["RuntimeTables", "emit_distributed_source", "emit_shared_source",
@@ -50,6 +57,16 @@ class RuntimeTables:
         enum = self._acc[key].enumerate(p)
         return [(s.lo, s.hi, s.step) for s in enum.segments]
 
+    def index_array(self, key: str, p: int):
+        """The same membership as ``segments`` materialized as one sorted
+        int64 index vector (the vector backend's working set)."""
+        import numpy as np
+
+        if key == "write" and self.plan.write_replicated:
+            return np.arange(self.plan.imin, self.plan.imax + 1,
+                             dtype=np.int64)
+        return self._acc[key].enumerate(p).index_array()
+
     def rule(self, key: str) -> str:
         return self._acc[key].rule
 
@@ -63,8 +80,17 @@ def _ref_temp_render(plan: SPMDPlan) -> Callable[[Ref], str]:
     return render
 
 
-def emit_distributed_source(plan: SPMDPlan) -> str:
-    """Source of the distributed-memory node program for *plan*."""
+def emit_distributed_source(plan: SPMDPlan, backend: str = "scalar") -> str:
+    """Source of the distributed-memory node program for *plan*.
+
+    ``backend="vector"`` emits the batched NumPy variant (one message per
+    (read, peer) pair); raises :class:`CodegenError` where only the
+    scalar template applies (replicated writes, opaque index functions).
+    """
+    if backend not in ("scalar", "vector"):
+        raise ValueError(f"unknown backend {backend!r}")
+    if backend == "vector":
+        return _emit_distributed_vector(plan)
     c = plan.clause
     lines: List[str] = []
     w = lines.append
@@ -153,8 +179,148 @@ def emit_distributed_source(plan: SPMDPlan) -> str:
     return "\n".join(lines) + "\n"
 
 
-def emit_shared_source(plan: SPMDPlan) -> str:
-    """Source of the shared-memory phase function (Section 2.9 template)."""
+def _emit_distributed_vector(plan: SPMDPlan) -> str:
+    """Vector variant of the §2.10 node program: memberships become sorted
+    strided index vectors, placement arithmetic broadcasts over them, and
+    each (read, peer) transfer is a single value-vector message tagged
+    ``("vec", pos)`` — positions are reconstructed from the shared
+    lexicographic enumeration order, never shipped."""
+    c = plan.clause
+    if plan.write_replicated:
+        raise CodegenError(
+            "replicated write: per-copy broadcast keeps the scalar template"
+        )
+    lines: List[str] = []
+    w = lines.append
+    w(f"def node_program(ctx, RT):")
+    w(f"    # vectorized SPMD node program generated from clause {c.name!r}")
+    w(f"    # write: {plan.write_name}[{plan.write_func.name}] "
+      f"under {plan.write_dec!r}  [rule {plan.modify.rule}]")
+    for read in plan.reads:
+        w(f"    # read{read.pos}: {read.name}[{read.func.name}] "
+          f"under {read.dec!r}  [rule {read.reside.rule}]")
+    w(f"    p = ctx.p")
+    arrays = {plan.write_name}
+    for read in plan.reads:
+        arrays.add(read.name)
+    for name in sorted(arrays):
+        w(f"    {name}_loc = ctx.mem[{name!r}]")
+    w("")
+
+    w(f"    # membership segments (Table I generation functions)")
+    for read in plan.reads:
+        if read.always_local:
+            continue
+        for line in segments_source(read.reside, f"segs_r{read.pos}",
+                                    f"read{read.pos}"):
+            w(f"    {line}")
+    for line in segments_source(plan.modify, "segs_w", "write"):
+        w(f"    {line}")
+    w("")
+
+    f_of_i = ifunc_src(plan.write_func)
+    for read in plan.reads:
+        if read.always_local:
+            w(f"    # read{read.pos} ({read.name}) is replicated: no sends")
+            continue
+        g_src = ifunc_src(read.func)
+        w(f"    # send phase for read{read.pos}: one value vector per "
+          f"destination writer")
+        w(f"    i = _vec_index(segs_r{read.pos})")
+        w(f"    if i.size:")
+        w(f"        ctx.stats.iterations += int(i.size)")
+        w(f"        q = _vec_full({proc_src(plan.write_dec, f_of_i)}, "
+          f"i.size, _np.int64)")
+        w(f"        vals = _vec_full({read.name}_loc"
+          f"[{local_src(read.dec, g_src)}], i.size, _np.float64)")
+        w(f"        for dest in _np.unique(q):")
+        w(f"            if int(dest) != p:")
+        w(f"                ctx.send(int(dest), ('vec', {read.pos}), "
+          f"_np.ascontiguousarray(vals[q == dest]))")
+        w("")
+
+    def temp(ref: Ref) -> str:
+        return next(r.temp for r in plan.reads if r.ref is ref)
+
+    w(f"    # update phase: Modify_p as one index vector, reads assembled")
+    w(f"    # from local gathers plus one receive per source")
+    w(f"    i = _vec_index(segs_w)")
+    w(f"    ctx.stats.iterations += int(i.size)")
+    w(f"    if i.size:")
+    w(f"        n = int(i.size)")
+    for read in plan.reads:
+        g_src = ifunc_src(read.func)
+        if read.always_local:
+            w(f"        {read.temp} = _vec_full({read.name}_loc"
+              f"[{local_src(read.dec, g_src)}], n, _np.float64)")
+            continue
+        w(f"        src{read.pos} = _vec_full("
+          f"{proc_src(read.dec, g_src)}, n, _np.int64)")
+        w(f"        {read.temp} = _vec_gather({read.name}_loc, _vec_full("
+          f"{local_src(read.dec, g_src)}, n, _np.int64))")
+        w(f"        for s in _np.unique(src{read.pos}[src{read.pos} != p]):")
+        w(f"            {read.temp}[src{read.pos} == s] = _np.asarray(")
+        w(f"                ctx.note_received((yield ctx.recv(int(s), "
+          f"('vec', {read.pos})))), dtype=_np.float64)")
+    slot = local_src(plan.write_dec, f_of_i)
+    w(f"        slot = _vec_full({slot}, n, _np.int64)")
+    w(f"        value = _vec_full({vexpr_src(c.rhs, temp)}, n, _np.float64)")
+    if c.guard is not None:
+        w(f"        keep = _np.broadcast_to(_np.asarray("
+          f"{vexpr_src(c.guard, temp)}, dtype=bool), (n,))")
+        w(f"        slot, value = slot[keep], value[keep]")
+    w(f"        {plan.write_name}_loc[slot] = value")
+    w(f"        ctx.stats.local_updates += int(value.size)")
+    w("")
+    w(f"    yield ctx.barrier()")
+    return "\n".join(lines) + "\n"
+
+
+def _emit_shared_vector(plan: SPMDPlan) -> str:
+    """Vector variant of the §2.9 phase: the whole ``Modify_p`` walk
+    becomes one gather / evaluate / fancy-store batch; the returned write
+    buffer holds a single ``(name, index_vector, value_vector)`` entry."""
+    c = plan.clause
+
+    def render(ref: Ref) -> str:
+        read = next(r for r in plan.reads if r.ref is ref)
+        return f"env[{read.name!r}][{ifunc_src(read.func)}]"
+
+    lines: List[str] = []
+    w = lines.append
+    w(f"def node_phase(p, env, RT):")
+    w(f"    # vectorized shared-memory SPMD phase for clause {c.name!r}")
+    w(f"    # forall i in Modify_p, as one strided-gather batch")
+    if plan.write_replicated:
+        w(f"    segs_w = [({plan.imin}, {plan.imax}, 1)]  # replicated write")
+    else:
+        for line in segments_source(plan.modify, "segs_w", "write"):
+            w(f"    {line}")
+    w(f"    i = _vec_index(segs_w)")
+    if c.guard is not None:
+        w(f"    if i.size:")
+        w(f"        keep = _np.broadcast_to(_np.asarray("
+          f"{vexpr_src(c.guard, render)}, dtype=bool), i.shape)")
+        w(f"        i = i[keep]")
+    w(f"    if i.size == 0:")
+    w(f"        return []")
+    w(f"    value = _vec_full({vexpr_src(c.rhs, render)}, "
+      f"int(i.size), _np.float64)")
+    w(f"    return [({plan.write_name!r}, "
+      f"{ifunc_src(plan.write_func)}, value)]")
+    return "\n".join(lines) + "\n"
+
+
+def emit_shared_source(plan: SPMDPlan, backend: str = "scalar") -> str:
+    """Source of the shared-memory phase function (Section 2.9 template).
+
+    ``backend="vector"`` emits the batched NumPy variant; its write
+    buffer holds index/value *vectors* instead of per-element tuples.
+    """
+    if backend not in ("scalar", "vector"):
+        raise ValueError(f"unknown backend {backend!r}")
+    if backend == "vector":
+        return _emit_shared_vector(plan)
     c = plan.clause
 
     def render(ref: Ref) -> str:
@@ -185,33 +351,51 @@ def emit_shared_source(plan: SPMDPlan) -> str:
     return "\n".join(lines) + "\n"
 
 
-def _exec_source(source: str, entry: str):
+def _exec_source(source: str, entry: str, helpers: str = SUPPORT_HELPERS):
     namespace: Dict[str, object] = {}
-    full = SUPPORT_HELPERS + "\n\n" + source
+    full = helpers + "\n\n" + source
     code = compile(full, f"<generated {entry}>", "exec")
     exec(code, namespace)  # noqa: S102 - generated by us, from our own AST
     return namespace[entry]
 
 
-def compile_distributed(plan: SPMDPlan):
+def compile_distributed(plan: SPMDPlan, backend: str = "scalar"):
     """Emit + compile the distributed node program.
 
     Returns ``(source, factory)`` where ``factory(ctx)`` yields a node
-    generator (the RT tables are bound in).
+    generator (the RT tables are bound in).  ``backend="vector"`` falls
+    back to the scalar template when no vector form exists (replicated
+    writes, opaque index functions).
     """
-    source = emit_distributed_source(plan)
-    fn = _exec_source(source, "node_program")
+    helpers = SUPPORT_HELPERS
+    if backend == "vector":
+        try:
+            source = emit_distributed_source(plan, backend="vector")
+            helpers = SUPPORT_HELPERS + "\n\n" + VECTOR_HELPERS
+        except CodegenError:
+            source = emit_distributed_source(plan)
+    else:
+        source = emit_distributed_source(plan, backend=backend)
+    fn = _exec_source(source, "node_program", helpers)
     rt = RuntimeTables(plan)
     return source, (lambda ctx: fn(ctx, rt))
 
 
-def compile_shared(plan: SPMDPlan):
+def compile_shared(plan: SPMDPlan, backend: str = "scalar"):
     """Emit + compile the shared-memory phase function.
 
     Returns ``(source, phase)`` where ``phase(p, env)`` gives the write
-    buffer for node *p*.
+    buffer for node *p* (index/value vectors under ``backend="vector"``).
     """
-    source = emit_shared_source(plan)
-    fn = _exec_source(source, "node_phase")
+    helpers = SUPPORT_HELPERS
+    if backend == "vector":
+        try:
+            source = emit_shared_source(plan, backend="vector")
+            helpers = SUPPORT_HELPERS + "\n\n" + VECTOR_HELPERS
+        except CodegenError:
+            source = emit_shared_source(plan)
+    else:
+        source = emit_shared_source(plan, backend=backend)
+    fn = _exec_source(source, "node_phase", helpers)
     rt = RuntimeTables(plan)
     return source, (lambda p, env: fn(p, env, rt))

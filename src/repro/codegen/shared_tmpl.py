@@ -51,13 +51,31 @@ def run_shared(
     plan: SPMDPlan,
     env: Dict[str, np.ndarray],
     machine: Optional[SharedMachine] = None,
+    backend: str = "scalar",
 ) -> SharedMachine:
     """Execute one clause on a shared-memory machine; returns the machine
-    (its ``env`` holds the post-state, its ``stats`` the counters)."""
+    (its ``env`` holds the post-state, its ``stats`` the counters).
+
+    ``backend="vector"`` executes ``//`` clauses as NumPy strided
+    operations over the closed-form membership segments (• clauses are a
+    serial chain and always take the scalar path).
+    """
+    if backend not in ("scalar", "vector"):
+        raise ValueError(f"unknown backend {backend!r}")
     if machine is None:
         machine = SharedMachine(plan.pmax, env)
     if plan.clause.ordering is Ordering.SEQ:
         _run_shared_seq(plan, machine)
+    elif backend == "vector":
+        ir = getattr(plan, "ir", None)
+        if ir is None:
+            raise ValueError(
+                "vector backend needs the pipeline IR; compile the plan "
+                "via compile_clause / repro.pipeline.compile_plan"
+            )
+        from ..machine.vectorize import run_shared_vector
+
+        run_shared_vector(ir, env, machine)
     else:
         machine.run_phase(shared_phase(plan, machine))
     return machine

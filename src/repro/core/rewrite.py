@@ -38,7 +38,8 @@ from ..decomp.base import Decomposition
 from .clause import Clause, Ordering
 from .evaluator import copy_env, evaluate_clause
 
-__all__ = ["DerivationStep", "SPMDDerivation", "derive_spmd"]
+__all__ = ["DerivationStep", "SPMDDerivation", "derive_spmd",
+           "derivation_forms"]
 
 Env = Dict[str, np.ndarray]
 
@@ -68,6 +69,23 @@ class SPMDDerivation:
     def pretty(self) -> str:
         return "\n".join(self.forms())
 
+    def as_trace(self):
+        """The derivation as a :class:`~repro.pipeline.trace.PipelineTrace`.
+
+        The same record format the PassManager produces, so the CLI and
+        reports can render derivations and compilations uniformly."""
+        from ..pipeline.trace import PassRecord, PipelineTrace
+
+        trace = PipelineTrace(label=f"derivation {self.clause.name!r}")
+        for step in self.steps:
+            trace.add(PassRecord(
+                name=step.rule,
+                paper="§2.6-2.7",
+                rewrites=1,
+                notes=[step.form],
+            ))
+        return trace
+
     def check(self, env: Env) -> np.ndarray:
         """Execute every step on *env*; assert all agree; return the
         common result."""
@@ -79,6 +97,13 @@ class SPMDDerivation:
                     f"derivation step {step.rule!r} changed semantics"
                 )
         return ref
+
+
+def derivation_forms(clause: Clause, decomps: Dict[str, Decomposition]):
+    """``(rule, V-cal form)`` pairs of the §2.6-2.7 chain — the cheap,
+    display-only projection of :func:`derive_spmd` that the pipeline's
+    `substitute-views` pass records in its trace notes."""
+    return [(s.rule, s.form) for s in derive_spmd(clause, decomps).steps]
 
 
 def _guard_ok(clause: Clause, idx, env) -> bool:

@@ -52,6 +52,33 @@ class Decomposition:
         """Local-memory slot of global element *i* on ``proc(i)``."""
         raise NotImplementedError
 
+    # -- vectorized forms ----------------------------------------------------
+
+    def proc_array(self, idx):
+        """``proc`` over an integer ndarray.
+
+        Subclasses with closed-form placement override this with pure
+        array arithmetic; the default evaluates element-wise (correct for
+        any decomposition, used only by the vector executor's fallback).
+        """
+        import numpy as np
+
+        idx = np.asarray(idx, dtype=np.int64)
+        return np.fromiter(
+            (self.proc(int(i)) for i in idx.ravel()),
+            dtype=np.int64, count=idx.size,
+        ).reshape(idx.shape)
+
+    def local_array(self, idx):
+        """``local`` over an integer ndarray (see :meth:`proc_array`)."""
+        import numpy as np
+
+        idx = np.asarray(idx, dtype=np.int64)
+        return np.fromiter(
+            (self.local(int(i)) for i in idx.ravel()),
+            dtype=np.int64, count=idx.size,
+        ).reshape(idx.shape)
+
     # -- derived ---------------------------------------------------------------
 
     def place(self, i: int) -> Tuple[int, int]:

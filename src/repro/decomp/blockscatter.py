@@ -42,6 +42,20 @@ class BlockScatter(Decomposition):
         course = i // (self.b * self.pmax)
         return self.b * course + i % self.b
 
+    # The same formulas broadcast over ndarrays; Block and Scatter inherit
+    # these (their proc/local are the b = ceil(n/pmax) and b = 1 cases).
+    def proc_array(self, idx):
+        import numpy as np
+
+        idx = np.asarray(idx, dtype=np.int64)
+        return (idx // self.b) % self.pmax
+
+    def local_array(self, idx):
+        import numpy as np
+
+        idx = np.asarray(idx, dtype=np.int64)
+        return self.b * (idx // (self.b * self.pmax)) + idx % self.b
+
     def global_index(self, p: int, l: int) -> int:
         course, off = divmod(l, self.b)
         i = (course * self.pmax + p) * self.b + off

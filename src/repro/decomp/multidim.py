@@ -37,6 +37,17 @@ class Collapsed(Decomposition):
     def local(self, i: int) -> int:
         return i
 
+    def proc_array(self, idx):
+        import numpy as np
+
+        idx = np.asarray(idx, dtype=np.int64)
+        return np.zeros(idx.shape, dtype=np.int64)
+
+    def local_array(self, idx):
+        import numpy as np
+
+        return np.asarray(idx, dtype=np.int64)
+
     def global_index(self, p: int, l: int) -> int:
         if p != 0 or not (0 <= l < self.n):
             raise KeyError(f"no global element at (p={p}, l={l})")

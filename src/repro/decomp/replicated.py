@@ -39,6 +39,17 @@ class SingleOwner(Decomposition):
     def local(self, i: int) -> int:
         return i
 
+    def proc_array(self, idx):
+        import numpy as np
+
+        idx = np.asarray(idx, dtype=np.int64)
+        return np.full(idx.shape, self.owner, dtype=np.int64)
+
+    def local_array(self, idx):
+        import numpy as np
+
+        return np.asarray(idx, dtype=np.int64)
+
     def global_index(self, p: int, l: int) -> int:
         if p != self.owner or not (0 <= l < self.n):
             raise KeyError(f"no global element at (p={p}, l={l})")
@@ -67,6 +78,17 @@ class Replicated(Decomposition):
 
     def local(self, i: int) -> int:
         return i
+
+    def proc_array(self, idx):
+        import numpy as np
+
+        idx = np.asarray(idx, dtype=np.int64)
+        return np.zeros(idx.shape, dtype=np.int64)
+
+    def local_array(self, idx):
+        import numpy as np
+
+        return np.asarray(idx, dtype=np.int64)
 
     def global_index(self, p: int, l: int) -> int:
         if not (0 <= l < self.n):

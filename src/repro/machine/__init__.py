@@ -10,6 +10,13 @@ from .scheduler import Barrier, DeadlockError, Recv, TraceEvent, Yield, run_spmd
 from .trace import activity_spans, overlap_factor, render_timeline
 from .shared import SharedMachine
 from .stats import MachineStats, NodeStats
+from .vectorize import (
+    apply_ifunc,
+    eval_expr_vec,
+    make_vector_node_program,
+    run_distributed_vector,
+    run_shared_vector,
+)
 
 __all__ = [
     "Network",
@@ -35,4 +42,9 @@ __all__ = [
     "SharedMachine",
     "MachineStats",
     "NodeStats",
+    "apply_ifunc",
+    "eval_expr_vec",
+    "run_shared_vector",
+    "make_vector_node_program",
+    "run_distributed_vector",
 ]

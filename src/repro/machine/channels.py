@@ -72,6 +72,14 @@ class Network:
         """Messages sent but not yet received."""
         return sum(len(q) for q in self._queues.values())
 
+    def pending_messages(self) -> list:
+        """Every undelivered message as ``(src, dst, tag)``, in channel
+        order — payloads are omitted (they may be large arrays)."""
+        out = []
+        for key in sorted(self._queues):
+            out.extend((m.src, m.dst, m.tag) for m in self._queues[key])
+        return out
+
     def pending_for(self, dst: int) -> int:
         return sum(len(q) for (s, d), q in self._queues.items() if d == dst)
 

@@ -63,7 +63,21 @@ NodeGen = Generator[Any, Any, None]
 
 
 class DeadlockError(RuntimeError):
-    """All live nodes blocked with nothing deliverable."""
+    """All live nodes blocked with nothing deliverable.
+
+    Carries the structured diagnosis alongside the message:
+
+    * ``blocked`` — ``{p: ("recv", src, tag)}`` for nodes stuck in a
+      receive, ``{p: ("barrier",)}`` for nodes parked at a barrier;
+    * ``undelivered`` — in-flight ``(src, dst, tag)`` triples that no
+      pending receive matches.
+    """
+
+    def __init__(self, message: str, blocked: Optional[Dict[int, tuple]] = None,
+                 undelivered: Optional[List[tuple]] = None):
+        super().__init__(message)
+        self.blocked: Dict[int, tuple] = blocked or {}
+        self.undelivered: List[tuple] = undelivered or []
 
 
 def run_spmd(
@@ -156,9 +170,19 @@ def run_spmd(
                     else "barrier" if isinstance(r, Barrier) else repr(r))
                 for p, r in waiting.items()
             }
+            blocked = {
+                p: (("recv", r.src, r.tag) if isinstance(r, Recv)
+                    else ("barrier",) if isinstance(r, Barrier)
+                    else ("other", repr(r)))
+                for p, r in waiting.items()
+            }
+            undelivered = network.pending_messages()
             raise DeadlockError(
                 f"deadlock after {rounds} rounds; blocked nodes: {diag}; "
                 f"undelivered messages: {network.pending()}"
+                + (f" {undelivered!r}" if undelivered else ""),
+                blocked=blocked,
+                undelivered=undelivered,
             )
 
 

@@ -1,0 +1,71 @@
+"""The unified pass-based compilation pipeline.
+
+Both the canonical 1-D clause path (``repro.codegen.plan``) and the
+d-dimensional grid paths (``repro.codegen.ndplan`` / ``nddist``) route
+through :func:`compile_plan`: one Plan IR, one ordered pass list, one
+trace.  The legacy ``compile_clause*`` entry points survive as thin
+shims that validate their historical contracts and project the IR back
+onto the plan dataclasses the machine templates consume.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..core.clause import Clause
+from .ir import AccessIR, AxisAccess, PlanIR, access_spec
+from .manager import PassManager
+from .passes import (
+    EliminateBarriers,
+    InsertHalo,
+    LicenseDoacross,
+    OptimizeMembership,
+    Pass,
+    RecognizeReduction,
+    SubstituteViews,
+    default_passes,
+)
+from .trace import PassRecord, PipelineTrace
+
+__all__ = [
+    "AccessIR",
+    "AxisAccess",
+    "PlanIR",
+    "PassManager",
+    "PassRecord",
+    "PipelineTrace",
+    "Pass",
+    "SubstituteViews",
+    "OptimizeMembership",
+    "InsertHalo",
+    "EliminateBarriers",
+    "RecognizeReduction",
+    "LicenseDoacross",
+    "default_passes",
+    "access_spec",
+    "compile_plan",
+]
+
+
+def compile_plan(
+    clause: Clause,
+    decomps: Dict[str, object],
+    *,
+    successor: Optional[Clause] = None,
+    require_read_decomps: bool = True,
+    passes: Optional[Sequence[Pass]] = None,
+) -> PlanIR:
+    """Compile *clause* through the pass pipeline and return the Plan IR.
+
+    *successor* enables the `eliminate-barriers` pass to analyse the
+    following clause; *require_read_decomps* is relaxed by the nd
+    shared-memory path, where reads address global memory directly.
+    """
+    ir = PlanIR(
+        clause=clause,
+        decomps=dict(decomps),
+        successor=successor,
+        require_read_decomps=require_read_decomps,
+    )
+    PassManager(passes).run(ir)
+    return ir

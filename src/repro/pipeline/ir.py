@@ -1,0 +1,218 @@
+"""The unified Plan IR.
+
+One intermediate representation covers the paper's canonical 1-D clause
+*and* the d-dimensional grid lifting: a 1-D clause is simply the
+degenerate one-axis grid.  Each array access is an :class:`AccessIR`
+whose per-axis placement (:class:`AxisAccess`) pairs a 1-D decomposition
+with the index function feeding it; the `optimize-membership` pass fills
+in the per-axis Table I enumerator.
+
+The IR is what the passes of :mod:`repro.pipeline.passes` transform.
+The legacy plan dataclasses (``SPMDPlan``, ``NDPlan``, ``NDDistPlan``)
+are now *projections* of this IR — ``to_spmd_plan`` and friends build
+them for the existing machine templates, which keeps every downstream
+consumer (templates, pysource, halo, doacross, benchmarks) working
+unchanged while the compile path itself is unified.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.clause import Clause
+from ..core.expr import Ref
+from ..core.view import ProjectedMap, SeparableMap
+from ..decomp.multidim import GridDecomposition
+from .trace import PipelineTrace
+
+__all__ = ["AxisAccess", "AccessIR", "PlanIR", "access_spec"]
+
+
+def access_spec(imap) -> Tuple[Tuple[int, ...], tuple]:
+    """``(loop dims, index functions)`` of a separable/projected access."""
+    if isinstance(imap, SeparableMap):
+        return tuple(range(imap.dim)), imap.funcs
+    if isinstance(imap, ProjectedMap):
+        return imap.dims, imap.funcs
+    raise ValueError("pipeline needs separable/projected accesses")
+
+
+@dataclass
+class AxisAccess:
+    """One array axis: its 1-D decomposition, the index function feeding
+    it, which loop dimension that function reads, and (after the
+    `optimize-membership` pass) the chosen Table I enumerator."""
+
+    dec: object
+    func: object
+    loop_dim: int
+    access: Optional[object] = None  # OptimizedAccess
+
+    @property
+    def rule(self) -> str:
+        return self.access.rule if self.access is not None else "?"
+
+
+@dataclass
+class AccessIR:
+    """One array access (the write or one read) in substituted form."""
+
+    ref: Ref
+    name: str
+    dec: object  # Decomposition | GridDecomposition | None (unplaced)
+    dims: Tuple[int, ...] = ()
+    funcs: tuple = ()
+    axes: List[AxisAccess] = field(default_factory=list)
+    pos: Optional[int] = None  # read position; None for the write
+
+    @property
+    def placed(self) -> bool:
+        return self.dec is not None
+
+    @property
+    def replicated(self) -> bool:
+        return bool(getattr(self.dec, "is_replicated", False))
+
+    @property
+    def label(self) -> str:
+        return "write" if self.pos is None else f"read{self.pos}"
+
+    def grid_coord(self, p: int) -> Tuple[int, ...]:
+        """Grid coordinates of linear processor *p* for this access."""
+        if isinstance(self.dec, GridDecomposition):
+            return self.dec.grid_coord(p)
+        return (p,)
+
+    def rules(self) -> List[str]:
+        return [ax.rule for ax in self.axes]
+
+    def describe(self) -> str:
+        shape = ",".join(f.name for f in self.funcs) if self.funcs else "?"
+        rules = ("[" + ", ".join(self.rules()) + "]") if self.axes else "[]"
+        dec = repr(self.dec) if self.placed else "<unplaced>"
+        return f"{self.label}:{self.name}[{shape}] under {dec} {rules}"
+
+
+@dataclass
+class PlanIR:
+    """The unified plan: clause + substituted accesses + pass-derived
+    facts, accumulated by the pass pipeline."""
+
+    clause: Clause
+    decomps: Dict[str, object]
+    successor: Optional[Clause] = None
+    #: nd-shared compilation does not require read decompositions
+    require_read_decomps: bool = True
+
+    # filled by substitute-views -------------------------------------------
+    loop_bounds: List[Tuple[int, int]] = field(default_factory=list)
+    write: Optional[AccessIR] = None
+    reads: List[AccessIR] = field(default_factory=list)
+    pmax: int = 0
+
+    # filled by later passes -----------------------------------------------
+    halo_arrays: List[str] = field(default_factory=list)
+    barrier_needed: bool = True
+    reduction: Optional[object] = None
+    doacross_distances: Dict[int, int] = field(default_factory=dict)
+
+    trace: PipelineTrace = field(default_factory=PipelineTrace)
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def ndim(self) -> int:
+        return self.clause.domain.dim
+
+    def accesses(self) -> List[AccessIR]:
+        out = [self.write] if self.write is not None else []
+        return out + list(self.reads)
+
+    def rules(self) -> Dict[str, str]:
+        out: Dict[str, str] = {}
+        for acc in self.accesses():
+            for k, ax in enumerate(acc.axes):
+                key = f"{acc.label}:{acc.name}" if len(acc.axes) == 1 else \
+                    f"{acc.label}:{acc.name}:dim{k}"
+                out[key] = ax.rule
+        return out
+
+    def describe(self) -> str:
+        lines = [repr(self.clause)]
+        for acc in self.accesses():
+            lines.append("  " + acc.describe())
+        flags = []
+        if self.halo_arrays:
+            flags.append(f"halo={self.halo_arrays}")
+        if self.reduction is not None:
+            flags.append("reduction")
+        if self.doacross_distances:
+            flags.append(f"doacross={self.doacross_distances}")
+        flags.append(f"barrier={'kept' if self.barrier_needed else 'eliminated'}")
+        lines.append("  " + " ".join(flags))
+        return "\n".join(lines)
+
+    # -- projections to the legacy plan dataclasses --------------------------
+
+    def to_spmd_plan(self):
+        """Project to the canonical 1-D :class:`~repro.codegen.plan.SPMDPlan`."""
+        from ..codegen.plan import CompiledRead, SPMDPlan
+
+        imin, imax = self.loop_bounds[0]
+        reads = [
+            CompiledRead(acc.ref, acc.dec, acc.funcs[0], acc.pos,
+                         acc.axes[0].access)
+            for acc in self.reads
+        ]
+        plan = SPMDPlan(
+            clause=self.clause,
+            imin=imin,
+            imax=imax,
+            write_dec=self.write.dec,
+            write_func=self.write.funcs[0],
+            modify=self.write.axes[0].access,
+            reads=reads,
+            pmax=self.pmax,
+        )
+        plan.ir = self
+        plan.trace = self.trace
+        return plan
+
+    def to_nd_plan(self):
+        """Project to the shared-memory :class:`~repro.codegen.ndplan.NDPlan`."""
+        from ..codegen.ndplan import NDPlan
+
+        plan = NDPlan(
+            clause=self.clause,
+            write_dec=self.write.dec,
+            out_dims=self.write.dims,
+            dim_access=[ax.access for ax in self.write.axes],
+            loop_bounds=list(self.loop_bounds),
+            pmax=self.pmax,
+        )
+        plan.ir = self
+        plan.trace = self.trace
+        return plan
+
+    def to_nd_dist_plan(self):
+        """Project to the distributed :class:`~repro.codegen.nddist.NDDistPlan`."""
+        from ..codegen.nddist import NDDistPlan, _NDAccess
+
+        def nd_access(acc: AccessIR) -> _NDAccess:
+            # legacy behaviour: replicated reads carry no per-dim enumerators
+            per_dim = [] if (acc.replicated and acc.pos is not None) else [
+                ax.access for ax in acc.axes
+            ]
+            return _NDAccess(acc.name, acc.dec, acc.dims, acc.funcs, per_dim)
+
+        plan = NDDistPlan(
+            clause=self.clause,
+            write=nd_access(self.write),
+            reads=[nd_access(acc) for acc in self.reads],
+            loop_bounds=list(self.loop_bounds),
+            pmax=self.pmax,
+        )
+        plan.ir = self
+        plan.trace = self.trace
+        return plan

@@ -1,0 +1,277 @@
+"""The named rewrite passes.
+
+The §2.6-2.7 derivation is a sequence of rewrites; this module makes each
+one an explicit, introspectable pass over :class:`~repro.pipeline.ir.PlanIR`:
+
+``substitute-views``      decomposition substitution + contraction (Eq. 2):
+                          every array reference becomes a placed access
+                          ``[proc(f(i)), local(f(i))]`` with per-axis
+                          decomposition/function pairs.
+``optimize-membership``   Table I rule selection per axis (§3): each axis
+                          gets its closed-form membership enumerator.
+``insert-halo``           flag OverlappedBlock arrays whose local buffers
+                          carry halo slots (the §2.7 fetch turned into a
+                          pre-copied overlap region).
+``eliminate-barriers``    §2.9 post-phase barrier removal: the barrier
+                          after this clause is dropped when no processor's
+                          reads in the successor overlap another's writes.
+``recognize-reduction``   the §2.6 remark on associative ``•`` clauses:
+                          detect accumulator recurrences that run as
+                          local-partials + combine.
+``license-doacross``      structural legality of the paper's "more
+                          complicated orderings": a ``•`` clause whose only
+                          loop-carried reads are constant-distance
+                          recurrences may run as a paced DOACROSS.
+
+Passes only *record* facts on the IR; projections to the legacy plan
+dataclasses and the machine templates consume them.  Passes import
+codegen helpers lazily so the pipeline stays importable from anywhere in
+the package without cycles.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..core.clause import Ordering
+from ..core.ifunc import AffineF
+from ..decomp.multidim import GridDecomposition
+from ..decomp.overlap import OverlappedBlock
+from ..sets.table1 import optimize_access
+from .ir import AccessIR, AxisAccess, PlanIR, access_spec
+
+__all__ = [
+    "Pass",
+    "SubstituteViews",
+    "OptimizeMembership",
+    "InsertHalo",
+    "EliminateBarriers",
+    "RecognizeReduction",
+    "LicenseDoacross",
+    "default_passes",
+]
+
+PassResult = Tuple[int, List[str]]
+
+
+class Pass:
+    """A named rewrite over the Plan IR."""
+
+    name: str = "?"
+    paper: str = ""
+
+    def run(self, ir: PlanIR) -> PassResult:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+def _make_access(ref, pos, dec, clause) -> AccessIR:
+    try:
+        dims, funcs = access_spec(ref.imap)
+    except ValueError:
+        dims, funcs = (), ()
+    axes: List[AxisAccess] = []
+    if dec is not None and funcs:
+        if isinstance(dec, GridDecomposition):
+            if dec.ndim == len(funcs):
+                axes = [
+                    AxisAccess(d, f, dims[k])
+                    for k, (d, f) in enumerate(zip(dec.dims, funcs))
+                ]
+        elif len(funcs) == 1:
+            axes = [AxisAccess(dec, funcs[0], dims[0])]
+    return AccessIR(ref=ref, name=ref.name, dec=dec, dims=dims, funcs=funcs,
+                    axes=axes, pos=pos)
+
+
+class SubstituteViews(Pass):
+    """Decomposition substitution + contraction (Eq. 2): rewrite every
+    array reference into its placed ``(proc, local)`` form."""
+
+    name = "substitute-views"
+    paper = "§2.6 Eq. 2"
+
+    def run(self, ir: PlanIR) -> PassResult:
+        clause = ir.clause
+        bounds = clause.domain.bounds
+        ir.loop_bounds = list(zip(bounds.lower, bounds.upper))
+
+        notes: List[str] = []
+        rewrites = 0
+
+        ir.write = _make_access(clause.lhs, None, ir.decomps[clause.lhs.name],
+                                clause)
+        ir.pmax = ir.write.dec.pmax
+        rewrites += 1
+        notes.append(f"{clause.lhs.name} -> (proc_{clause.lhs.name}, "
+                     f"local_{clause.lhs.name}) under {ir.write.dec!r}")
+
+        for pos, ref in enumerate(clause.reads()):
+            dec = ir.decomps.get(ref.name)
+            if dec is None and ir.require_read_decomps:
+                raise KeyError(ref.name)
+            acc = _make_access(ref, pos, dec, clause)
+            ir.reads.append(acc)
+            if dec is not None:
+                rewrites += 1
+                notes.append(f"read{pos}:{ref.name} -> (proc, local) "
+                             f"under {dec!r}")
+            else:
+                notes.append(f"read{pos}:{ref.name} left in global view "
+                             "(shared-memory addressing)")
+
+        # The executable derivation chain produces the same records: reuse
+        # its pretty forms as the notes for the 1-D // case.
+        if ir.ndim == 1 and clause.ordering is Ordering.PAR:
+            try:
+                from ..core.rewrite import derivation_forms
+
+                for rule, form in derivation_forms(clause, ir.decomps):
+                    notes.append(f"[{rule}] {form}")
+            except (KeyError, ValueError):
+                pass
+        return rewrites, notes
+
+
+class OptimizeMembership(Pass):
+    """Table I rule selection (§3): pick the closed-form enumerator for
+    every placed axis.  A rewrite is counted whenever the selection beats
+    the naive full-range scan."""
+
+    name = "optimize-membership"
+    paper = "§3 / Table I"
+
+    def run(self, ir: PlanIR) -> PassResult:
+        notes: List[str] = []
+        rewrites = 0
+        for acc in ir.accesses():
+            for k, ax in enumerate(acc.axes):
+                lo, hi = ir.loop_bounds[ax.loop_dim]
+                ax.access = optimize_access(ax.dec, ax.func, lo, hi)
+                suffix = f":dim{k}" if len(acc.axes) > 1 else ""
+                notes.append(
+                    f"{acc.label}:{acc.name}{suffix} -> {ax.access.rule}")
+                if not ax.access.rule.startswith("naive"):
+                    rewrites += 1
+        return rewrites, notes
+
+
+class InsertHalo(Pass):
+    """Flag OverlappedBlock arrays: their local buffers carry halo slots,
+    so reads within the overlap become local accesses (§2.7's fetch
+    replaced by a pre-copied region)."""
+
+    name = "insert-halo"
+    paper = "§2.7"
+
+    def run(self, ir: PlanIR) -> PassResult:
+        ir.halo_arrays = [
+            name for name in ir.clause.array_names()
+            if isinstance(ir.decomps.get(name), OverlappedBlock)
+        ]
+        notes = [
+            f"{name}: halo width {ir.decomps[name].halo} "
+            "(reads inside the overlap resolve locally)"
+            for name in ir.halo_arrays
+        ]
+        return len(ir.halo_arrays), notes
+
+
+class EliminateBarriers(Pass):
+    """§2.9: drop the post-phase barrier when no processor's reads in the
+    successor clause can observe another processor's writes from this
+    one."""
+
+    name = "eliminate-barriers"
+    paper = "§2.9"
+
+    def run(self, ir: PlanIR) -> PassResult:
+        if ir.successor is None:
+            return 0, ["no successor clause: barrier kept"]
+        if ir.ndim != 1 or ir.successor.domain.dim != 1:
+            return 0, ["barrier analysis implemented for 1-D clauses: kept"]
+        from ..codegen.barriers import barrier_removable
+
+        try:
+            removable = barrier_removable(ir.clause, ir.successor, ir.decomps)
+        except (KeyError, ValueError) as exc:
+            return 0, [f"analysis unavailable ({exc}); barrier kept"]
+        ir.barrier_needed = not removable
+        if removable:
+            return 1, [f"barrier before {ir.successor.name!r} eliminated: "
+                       "no cross-processor write/read overlap"]
+        return 0, [f"barrier before {ir.successor.name!r} kept"]
+
+
+class RecognizeReduction(Pass):
+    """Detect associative accumulator recurrences in ``•`` clauses (the
+    §2.6 remark): these run as local partials + logarithmic combine
+    instead of a serialized chain."""
+
+    name = "recognize-reduction"
+    paper = "§2.6 remark"
+
+    def run(self, ir: PlanIR) -> PassResult:
+        if ir.clause.ordering is not Ordering.SEQ or ir.ndim != 1:
+            return 0, []
+        from ..codegen.idioms import recognize_reduction
+
+        ir.reduction = recognize_reduction(ir.clause)
+        if ir.reduction is None:
+            return 0, ["no accumulator recurrence recognized"]
+        red = ir.reduction
+        return 1, [f"reduction over {red.op!r} into "
+                   f"{ir.clause.lhs.name}[{red.slot}]"]
+
+
+class LicenseDoacross(Pass):
+    """Structural legality of a paced DOACROSS schedule for ``•`` clauses
+    whose loop-carried reads are constant-distance recurrences."""
+
+    name = "license-doacross"
+    paper = "§2.6 orderings"
+
+    def run(self, ir: PlanIR) -> PassResult:
+        ir.doacross_distances = {}
+        clause = ir.clause
+        if clause.ordering is not Ordering.SEQ or ir.ndim != 1:
+            return 0, []
+        if ir.reduction is not None:
+            return 0, ["clause runs as a reduction: doacross not needed"]
+        if ir.write is None or ir.write.replicated:
+            return 0, ["replicated write: doacross not licensed"]
+        wf = ir.write.funcs[0] if ir.write.funcs else None
+        if not (isinstance(wf, AffineF) and wf.a == 1 and wf.c == 0):
+            return 0, ["write access is not the identity: not licensed"]
+        if clause.guard is not None and any(
+            r.name == clause.lhs.name for r in clause.guard.refs()
+        ):
+            return 0, ["guard reads the written array: not licensed"]
+        distances = {}
+        for pos, ref in enumerate(clause.reads()):
+            if ref.name != clause.lhs.name:
+                continue
+            try:
+                g = ref.scalar_func()
+            except ValueError:
+                return 0, [f"read{pos} of {ref.name!r} is not 1-D separable"]
+            if isinstance(g, AffineF) and g.a == 1 and g.c <= -1:
+                distances[pos] = -g.c
+            else:
+                return 0, [f"read{pos} of the written array is not a "
+                           "constant-distance recurrence: not licensed"]
+        if not distances:
+            return 0, ["no loop-carried recurrence read: nothing to pace"]
+        ir.doacross_distances = distances
+        return 1, [f"doacross licensed with distances {distances}"]
+
+
+def default_passes() -> List[Pass]:
+    """The standard pipeline, in order."""
+    return [
+        SubstituteViews(),
+        OptimizeMembership(),
+        InsertHalo(),
+        EliminateBarriers(),
+        RecognizeReduction(),
+        LicenseDoacross(),
+    ]

@@ -1,0 +1,100 @@
+"""Pass records and pipeline traces.
+
+Every compilation routed through :class:`~repro.pipeline.manager.PassManager`
+leaves behind a :class:`PipelineTrace`: one :class:`PassRecord` per pass,
+carrying the pass name, the paper section it implements, wall time,
+how many rewrites it applied, free-form notes, and before/after IR
+snapshots.  The CLI dumps it (``repro compile --explain``) and the
+§2.6-2.7 derivation chain (:meth:`repro.core.rewrite.SPMDDerivation.as_trace`)
+reuses the same record format, so one introspection surface covers both
+the executable derivation and the production compile path.
+
+This module is a leaf: it imports nothing from the rest of the package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["PassRecord", "PipelineTrace"]
+
+
+@dataclass
+class PassRecord:
+    """One pass application: what ran, what it did, what it cost."""
+
+    name: str
+    paper: str = ""
+    wall_ms: float = 0.0
+    rewrites: int = 0
+    notes: List[str] = field(default_factory=list)
+    before: str = ""
+    after: str = ""
+
+    def headline(self) -> str:
+        head = f"{self.name:20s} rewrites={self.rewrites:<3d} {self.wall_ms:7.3f} ms"
+        return f"{head}  {self.paper}" if self.paper else head
+
+
+@dataclass
+class PipelineTrace:
+    """Ordered pass records for one compilation (or derivation)."""
+
+    label: str = ""
+    records: List[PassRecord] = field(default_factory=list)
+
+    def add(self, record: PassRecord) -> PassRecord:
+        self.records.append(record)
+        return record
+
+    def names(self) -> List[str]:
+        return [r.name for r in self.records]
+
+    def record(self, name: str) -> Optional[PassRecord]:
+        for r in self.records:
+            if r.name == name:
+                return r
+        return None
+
+    def total_rewrites(self) -> int:
+        return sum(r.rewrites for r in self.records)
+
+    def total_ms(self) -> float:
+        return sum(r.wall_ms for r in self.records)
+
+    def by_name(self) -> Dict[str, PassRecord]:
+        return {r.name: r for r in self.records}
+
+    def pretty(self, verbose: bool = False) -> str:
+        """Human-readable ordered pass list with per-pass rewrite counts."""
+        head = f"pipeline {self.label or '<anonymous>'}: " \
+               f"{len(self.records)} passes, " \
+               f"{self.total_rewrites()} rewrites, {self.total_ms():.3f} ms"
+        lines = [head]
+        for k, r in enumerate(self.records, 1):
+            lines.append(f"  {k}. {r.headline()}")
+            for note in r.notes:
+                lines.append(f"       {note}")
+            if verbose and r.after and r.after != r.before:
+                for ln in r.after.splitlines():
+                    lines.append(f"       | {ln}")
+        return "\n".join(lines)
+
+    def summary(self) -> Dict[str, object]:
+        """JSON-friendly digest (used by benchmarks and reports)."""
+        return {
+            "label": self.label,
+            "passes": [
+                {
+                    "name": r.name,
+                    "paper": r.paper,
+                    "wall_ms": r.wall_ms,
+                    "rewrites": r.rewrites,
+                    "notes": list(r.notes),
+                }
+                for r in self.records
+            ],
+            "total_rewrites": self.total_rewrites(),
+            "total_ms": self.total_ms(),
+        }

@@ -63,6 +63,16 @@ class Segment:
             return 0
         return (self.hi - self.lo) // self.step + 1
 
+    def as_slice(self) -> slice:
+        """The segment as a Python/NumPy strided slice (half-open stop)."""
+        return slice(self.lo, self.hi + 1, self.step)
+
+    def index_array(self):
+        """The segment as an int64 index vector (NumPy strided range)."""
+        import numpy as np
+
+        return np.arange(self.lo, self.hi + 1, self.step, dtype=np.int64)
+
 
 @dataclass
 class Enumeration:
@@ -80,6 +90,25 @@ class Enumeration:
 
     def count(self) -> int:
         return sum(s.count() for s in self.segments)
+
+    def slices(self) -> List[slice]:
+        """The enumeration as strided slices — one NumPy basic-indexing
+        view per segment (the vector executor's unit of work)."""
+        return [s.as_slice() for s in self.segments]
+
+    def index_array(self):
+        """All member indices as one sorted int64 vector.
+
+        Sorted ascending so that *every* node enumerating the same index
+        set walks it in the same (lexicographic) order — the alignment
+        property the vectorized message protocol relies on.
+        """
+        import numpy as np
+
+        if not self.segments:
+            return np.empty(0, dtype=np.int64)
+        out = np.concatenate([s.index_array() for s in self.segments])
+        return np.sort(out)
 
     def add(self, lo: int, hi: int, step: int = 1) -> None:
         if lo <= hi:

@@ -1,0 +1,288 @@
+"""Equivalence properties of the unified pipeline and the vector backend.
+
+Two families of checks:
+
+* pipeline-compiled plans execute element-identically to the sequential
+  reference evaluator across decomposition kinds and both machines;
+* the vectorized segment executor (interpreter and emitted source)
+  produces bit-identical arrays to the scalar templates.
+"""
+
+import numpy as np
+import pytest
+
+from repro.codegen.barriers import run_program_shared
+from repro.codegen.dist_tmpl import run_distributed
+from repro.codegen.ndplan import compile_clause_nd, run_shared_nd
+from repro.codegen.nddist import (
+    collect_nd,
+    compile_clause_nd_dist,
+    run_distributed_nd,
+)
+from repro.codegen.plan import compile_clause
+from repro.codegen.pysource import compile_distributed, compile_shared
+from repro.codegen.shared_tmpl import run_shared
+from repro.core import (
+    PAR,
+    SEQ,
+    AffineF,
+    Bounds,
+    Clause,
+    Const,
+    IdentityF,
+    IndexSet,
+    Ref,
+    SeparableMap,
+    copy_env,
+    evaluate_clause,
+)
+from repro.core.expr import BinOp
+from repro.core.view import ProjectedMap
+from repro.decomp import (
+    Block,
+    BlockScatter,
+    Collapsed,
+    GridDecomposition,
+    Replicated,
+    Scatter,
+)
+
+N, P = 40, 4
+
+DEC_KINDS = {
+    "block": lambda n: Block(n, P),
+    "scatter": lambda n: Scatter(n, P),
+    "bs": lambda n: BlockScatter(n, P, 3),
+}
+
+
+def affine_clause():
+    """A[i+1] := B[2i] * 0.5 + C[i] over the range keeping 2i in bounds."""
+    return Clause(
+        IndexSet(Bounds((0,), ((N - 1) // 2,))),
+        Ref("A", SeparableMap([AffineF(1, 1)])),
+        Ref("B", SeparableMap([AffineF(2, 0)])) * 0.5
+        + Ref("C", SeparableMap([IdentityF()])),
+    )
+
+
+def guarded_clause():
+    return Clause(
+        IndexSet(Bounds((0,), (N - 2,))),
+        Ref("A", SeparableMap([IdentityF()])),
+        Ref("B", SeparableMap([AffineF(1, 1)])) * 0.5,
+        guard=Ref("C", SeparableMap([IdentityF()])) > 0.5,
+    )
+
+
+def env1d(seed=0):
+    rng = np.random.default_rng(seed)
+    return {k: rng.random(N) for k in "ABC"}
+
+
+@pytest.mark.parametrize("kind", sorted(DEC_KINDS))
+@pytest.mark.parametrize("make", [affine_clause, guarded_clause])
+class TestPipelineMatchesReference:
+    def _setup(self, kind, make):
+        cl = make()
+        decomps = {name: DEC_KINDS[kind](N) for name in "ABC"}
+        env0 = env1d()
+        ref = evaluate_clause(cl, copy_env(env0))["A"]
+        return cl, decomps, env0, ref
+
+    def test_shared(self, kind, make):
+        cl, decomps, env0, ref = self._setup(kind, make)
+        plan = compile_clause(cl, decomps)
+        m = run_shared(plan, copy_env(env0))
+        assert np.array_equal(m.env["A"], ref)
+
+    def test_distributed(self, kind, make):
+        cl, decomps, env0, ref = self._setup(kind, make)
+        plan = compile_clause(cl, decomps)
+        m = run_distributed(plan, copy_env(env0))
+        assert np.array_equal(m.collect("A"), ref)
+
+
+@pytest.mark.parametrize("kind", sorted(DEC_KINDS))
+@pytest.mark.parametrize("make", [affine_clause, guarded_clause])
+class TestVectorMatchesScalar1D:
+    def _plan_env(self, kind, make):
+        cl = make()
+        decomps = {name: DEC_KINDS[kind](N) for name in "ABC"}
+        return compile_clause(cl, decomps), env1d()
+
+    def test_shared_interpreter(self, kind, make):
+        plan, env0 = self._plan_env(kind, make)
+        a = run_shared(plan, copy_env(env0)).env["A"]
+        b = run_shared(plan, copy_env(env0), backend="vector").env["A"]
+        assert np.array_equal(a, b)
+
+    def test_distributed_interpreter(self, kind, make):
+        plan, env0 = self._plan_env(kind, make)
+        a = run_distributed(plan, copy_env(env0)).collect("A")
+        b = run_distributed(plan, copy_env(env0),
+                            backend="vector").collect("A")
+        assert np.array_equal(a, b)
+
+    def test_distributed_vector_batches_messages(self, kind, make):
+        plan, env0 = self._plan_env(kind, make)
+        ms = run_distributed(plan, copy_env(env0))
+        mv = run_distributed(plan, copy_env(env0), backend="vector")
+        assert mv.stats.total_messages() <= ms.stats.total_messages()
+        # batching must not change what moves
+        assert (mv.stats.total_elements_moved()
+                == ms.stats.total_elements_moved())
+
+    def test_emitted_distributed_source(self, kind, make):
+        from repro.machine import DistributedMachine
+
+        plan, env0 = self._plan_env(kind, make)
+        results = {}
+        for backend in ("scalar", "vector"):
+            src, factory = compile_distributed(plan, backend=backend)
+            m = DistributedMachine(P)
+            for name in "ABC":
+                m.place(name, env0[name].copy(), plan.ir.decomps[name])
+            m.run(factory)
+            results[backend] = m.collect("A")
+        assert np.array_equal(results["scalar"], results["vector"])
+
+    def test_emitted_shared_source(self, kind, make):
+        plan, env0 = self._plan_env(kind, make)
+        results = {}
+        for backend in ("scalar", "vector"):
+            _src, phase = compile_shared(plan, backend=backend)
+            env = copy_env(env0)
+            for p in range(P):
+                for name, idx, value in phase(p, env):
+                    env[name][idx] = value
+            results[backend] = env["A"]
+        assert np.array_equal(results["scalar"], results["vector"])
+
+
+class TestVectorMatchesScalarND:
+    N2, M2 = 8, 6
+
+    def _grid(self):
+        return GridDecomposition([Block(self.N2, 2), Scatter(self.M2, 2)])
+
+    def _env(self, seed=1):
+        rng = np.random.default_rng(seed)
+        return {"S": rng.random((self.N2, self.M2)),
+                "T": np.zeros((self.N2, self.M2)),
+                "x": rng.random(self.M2)}
+
+    def test_shared_grid(self):
+        g = self._grid()
+        cl = Clause(
+            IndexSet(Bounds((0, 0), (self.N2 - 1, self.M2 - 1))),
+            Ref("T", SeparableMap([IdentityF(), IdentityF()])),
+            Ref("S", SeparableMap([IdentityF(), IdentityF()])) * 3,
+        )
+        plan = compile_clause_nd(cl, {"T": g})
+        env0 = self._env()
+        a = run_shared_nd(plan, copy_env(env0)).env["T"]
+        b = run_shared_nd(plan, copy_env(env0), backend="vector").env["T"]
+        assert np.array_equal(a, b)
+
+    def test_distributed_grid_shift(self):
+        g = self._grid()
+        cl = Clause(
+            IndexSet(Bounds((0, 0), (self.N2 - 1, self.M2 - 2))),
+            Ref("T", SeparableMap([IdentityF(), IdentityF()])),
+            Ref("S", SeparableMap([IdentityF(), AffineF(1, 1)])) * 2
+            + Ref("S", SeparableMap([IdentityF(), IdentityF()])),
+        )
+        plan = compile_clause_nd_dist(cl, {"T": g, "S": g})
+        env0 = self._env()
+        ms = run_distributed_nd(plan, copy_env(env0))
+        mv = run_distributed_nd(plan, copy_env(env0), backend="vector")
+        assert np.array_equal(collect_nd(ms, "T"), collect_nd(mv, "T"))
+        assert mv.stats.total_messages() < ms.stats.total_messages()
+
+    def test_distributed_replicated_projected_read(self):
+        g = self._grid()
+        cl = Clause(
+            IndexSet(Bounds((0, 0), (self.N2 - 1, self.M2 - 1))),
+            Ref("T", SeparableMap([IdentityF(), IdentityF()])),
+            Ref("S", SeparableMap([IdentityF(), IdentityF()]))
+            * Ref("x", ProjectedMap((1,), (IdentityF(),))),
+        )
+        decomps = {"T": g, "S": g, "x": Replicated(self.M2, g.pmax)}
+        plan = compile_clause_nd_dist(cl, decomps)
+        env0 = self._env()
+        ms = run_distributed_nd(plan, copy_env(env0))
+        mv = run_distributed_nd(plan, copy_env(env0), backend="vector")
+        assert np.array_equal(collect_nd(ms, "T"), collect_nd(mv, "T"))
+
+    def test_distributed_transposed_read(self):
+        g = GridDecomposition([Block(self.N2, 2), Block(self.N2, 2)])
+        cl = Clause(
+            IndexSet(Bounds((0, 0), (self.N2 - 1, self.N2 - 1))),
+            Ref("T", SeparableMap([IdentityF(), IdentityF()])),
+            Ref("S", ProjectedMap((1, 0), (IdentityF(), IdentityF()))) * 2,
+        )
+        plan = compile_clause_nd_dist(cl, {"T": g, "S": g})
+        rng = np.random.default_rng(3)
+        env0 = {"S": rng.random((self.N2, self.N2)),
+                "T": np.zeros((self.N2, self.N2))}
+        ms = run_distributed_nd(plan, copy_env(env0))
+        mv = run_distributed_nd(plan, copy_env(env0), backend="vector")
+        assert np.array_equal(collect_nd(ms, "T"), collect_nd(mv, "T"))
+
+
+class TestFallbacks:
+    def test_seq_clause_takes_scalar_path(self):
+        cl = Clause(
+            IndexSet(Bounds((0,), (N - 2,))),
+            Ref("A", SeparableMap([AffineF(1, 1)])),
+            Ref("A", SeparableMap([IdentityF()])) * 0.9,
+            ordering=SEQ,
+        )
+        plan = compile_clause(cl, {"A": Block(N, P)})
+        env0 = env1d()
+        a = run_shared(plan, copy_env(env0)).env["A"]
+        b = run_shared(plan, copy_env(env0), backend="vector").env["A"]
+        assert np.array_equal(a, b)
+
+    def test_replicated_write_distributed_falls_back(self):
+        cl = Clause(
+            IndexSet(Bounds((0,), (N - 1,))),
+            Ref("r", SeparableMap([IdentityF()])),
+            Ref("B", SeparableMap([IdentityF()])) + 1.0,
+        )
+        decomps = {"r": Replicated(N, P), "B": Block(N, P)}
+        plan = compile_clause(cl, decomps)
+        env0 = {"r": np.zeros(N), "B": env1d()["B"]}
+        a = run_distributed(plan, copy_env(env0)).collect("r")
+        b = run_distributed(plan, copy_env(env0),
+                            backend="vector").collect("r")
+        assert np.array_equal(a, b)
+
+    def test_min_expression_vectorizes(self):
+        cl = Clause(
+            IndexSet(Bounds((0,), (N - 1,))),
+            Ref("A", SeparableMap([IdentityF()])),
+            BinOp("min", Ref("B", SeparableMap([IdentityF()])),
+                  Ref("C", SeparableMap([IdentityF()]))),
+        )
+        decomps = {"A": Block(N, P), "B": Scatter(N, P), "C": Block(N, P)}
+        plan = compile_clause(cl, decomps)
+        env0 = env1d()
+        a = run_distributed(plan, copy_env(env0)).collect("A")
+        b = run_distributed(plan, copy_env(env0),
+                            backend="vector").collect("A")
+        assert np.array_equal(a, b)
+
+    def test_whole_program_shared_vector(self):
+        from repro.core.clause import Program
+
+        c1, c2 = affine_clause(), guarded_clause()
+        program = Program([c1, c2])
+        decomps = {name: Block(N, P) for name in "ABC"}
+        env0 = env1d()
+        ms, bs = run_program_shared(program, decomps, copy_env(env0))
+        mv, bv = run_program_shared(program, decomps, copy_env(env0),
+                                    backend="vector")
+        assert bs == bv
+        assert np.array_equal(ms.env["A"], mv.env["A"])
