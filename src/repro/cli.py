@@ -133,13 +133,13 @@ def cmd_compile(args) -> int:
             print(plan.trace.pretty(verbose=args.verbose))
         print()
         backend = getattr(args, "backend", "scalar")
-        if backend == "vector":
+        if backend in ("vector", "overlap"):
             from .codegen.pysource import CodegenError
 
             try:
-                print(emit_distributed_source(plan, backend="vector"))
+                print(emit_distributed_source(plan, backend=backend))
             except CodegenError as e:
-                print(f"# vector emission unavailable ({e}); scalar form:")
+                print(f"# {backend} emission unavailable ({e}); scalar form:")
                 print(emit_distributed_source(plan))
         else:
             print(emit_distributed_source(plan))
@@ -220,6 +220,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--param", action="append", default=[],
                        metavar="NAME=INT")
         p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--no-plan-cache", action="store_true",
+                       help="disable the compile-once plan cache "
+                            "(every clause recompiles from scratch)")
 
     comp = sub.add_parser("compile", help="emit generated node programs")
     common(comp)
@@ -229,7 +232,7 @@ def build_parser() -> argparse.ArgumentParser:
     comp.add_argument("--verbose", action="store_true",
                       help="with --explain: include before/after IR "
                            "snapshots per pass")
-    comp.add_argument("--backend", choices=("scalar", "vector"),
+    comp.add_argument("--backend", choices=("scalar", "vector", "overlap"),
                       default="scalar",
                       help="flavor of emitted node program")
     comp.set_defaults(fn=cmd_compile)
@@ -241,10 +244,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--shared", action="store_true",
                      help="run on the shared-memory machine with barrier "
                           "elimination (whole program, fused phases)")
-    run.add_argument("--backend", choices=("scalar", "vector"),
+    run.add_argument("--backend", choices=("scalar", "vector", "overlap"),
                      default="scalar",
-                     help="scalar per-element templates or the NumPy "
-                          "vectorized segment executor")
+                     help="scalar per-element templates, the NumPy "
+                          "vectorized segment executor, or the overlapped "
+                          "interior/boundary executor")
     run.set_defaults(fn=cmd_run)
 
     der = sub.add_parser("derive", help="print the §2.6 rewrite chain")
@@ -255,6 +259,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: List[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "no_plan_cache", False):
+        from .pipeline import enable_plan_cache
+
+        enable_plan_cache(False)
     return args.fn(args)
 
 

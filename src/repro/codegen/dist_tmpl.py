@@ -136,6 +136,7 @@ def run_distributed(
     machine: Optional[DistributedMachine] = None,
     decomps: Optional[Dict[str, object]] = None,
     backend: str = "scalar",
+    model=None,
 ) -> DistributedMachine:
     """Place *env* on a distributed machine, run the clause, return the
     machine (use ``machine.collect(name)`` for the post-state).
@@ -143,9 +144,13 @@ def run_distributed(
     When *machine* is given it must already hold the placed arrays.
     ``backend="vector"`` batches communication into one message per
     (read, peer) pair and executes each phase as NumPy array operations;
+    ``backend="overlap"`` additionally computes the interior of
+    ``Modify_p`` while messages are in flight (non-blocking receives);
     replicated writes (a per-copy broadcast) keep the scalar path.
+    *model* is an optional :class:`~repro.machine.channels.LatencyModel`
+    attached to a newly created machine (virtual-time accounting only).
     """
-    if backend not in ("scalar", "vector"):
+    if backend not in ("scalar", "vector", "overlap"):
         raise ValueError(f"unknown backend {backend!r}")
     if plan.clause.ordering is Ordering.SEQ:
         raise NotImplementedError(
@@ -153,10 +158,22 @@ def run_distributed(
             "is not generated; use the shared-memory template for • clauses"
         )
     ir = getattr(plan, "ir", None)
-    if backend == "vector" and ir is not None and not plan.write_replicated:
+    if backend in ("vector", "overlap") and ir is not None \
+            and not plan.write_replicated:
+        if backend == "overlap":
+            from ..machine.vectorize import run_distributed_overlap
+
+            return run_distributed_overlap(ir, env, machine, model=model)
         from ..machine.vectorize import run_distributed_vector
 
-        return run_distributed_vector(ir, env, machine)
+        return run_distributed_vector(ir, env, machine, model=model)
+    if backend != "scalar":
+        trace = getattr(plan, "trace", None)
+        if trace is not None:
+            trace.note(f"backend={backend!r} fell back to the scalar "
+                       "template: "
+                       + ("replicated write (per-copy broadcast)"
+                          if plan.write_replicated else "plan carries no IR"))
     if machine is None:
         machine = DistributedMachine(plan.pmax)
         all_decomps = {plan.write_name: plan.write_dec}

@@ -232,20 +232,33 @@ def run_distributed_nd(
     env: Dict[str, np.ndarray],
     machine: Optional[DistributedMachine] = None,
     backend: str = "scalar",
+    model=None,
 ) -> DistributedMachine:
     """Place *env* (grid decompositions get nd-local layouts), run the
     clause, return the machine; use :func:`collect_nd` for grid arrays.
 
     ``backend="vector"`` batches each (read, peer) transfer into a single
     value-vector message and evaluates the clause body as NumPy array
-    operations over the factorized membership products.
+    operations over the factorized membership products;
+    ``backend="overlap"`` additionally computes the interior of
+    ``Modify_p`` while messages are in flight.  *model* is an optional
+    :class:`~repro.machine.channels.LatencyModel` for a new machine.
     """
-    if backend not in ("scalar", "vector"):
+    if backend not in ("scalar", "vector", "overlap"):
         raise ValueError(f"unknown backend {backend!r}")
+    if backend == "overlap" and plan.ir is not None:
+        from ..machine.vectorize import run_distributed_overlap
+
+        return run_distributed_overlap(plan.ir, env, machine, model=model)
     if backend == "vector" and plan.ir is not None:
         from ..machine.vectorize import run_distributed_vector
 
-        return run_distributed_vector(plan.ir, env, machine)
+        return run_distributed_vector(plan.ir, env, machine, model=model)
+    if backend != "scalar":
+        trace = getattr(plan, "trace", None)
+        if trace is not None:
+            trace.note(f"backend={backend!r} fell back to the scalar "
+                       "template: plan carries no IR")
     decs: Dict[str, AnyDec] = {plan.write.name: plan.write.dec}
     for read in plan.reads:
         decs.setdefault(read.name, read.dec)

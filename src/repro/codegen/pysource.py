@@ -70,6 +70,21 @@ class RuntimeTables:
     def rule(self, key: str) -> str:
         return self._acc[key].rule
 
+    def interior_index(self, p: int):
+        """Sorted int64 vector of node *p*'s interior loop indices (the
+        `split-interior` pass product; empty when the plan has no split —
+        the overlap program then degrades to the vector schedule)."""
+        import numpy as np
+
+        ir = getattr(self.plan, "ir", None)
+        split = getattr(ir, "interior_split", None) if ir is not None else None
+        if split is None or p not in split.per_node:
+            return np.empty(0, dtype=np.int64)
+        segs = split.per_node[p].interior[0]
+        if not segs:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate([s.index_array() for s in segs])
+
 
 def _ref_temp_render(plan: SPMDPlan) -> Callable[[Ref], str]:
     by_id = {id(read.ref): read.temp for read in plan.reads}
@@ -84,13 +99,17 @@ def emit_distributed_source(plan: SPMDPlan, backend: str = "scalar") -> str:
     """Source of the distributed-memory node program for *plan*.
 
     ``backend="vector"`` emits the batched NumPy variant (one message per
-    (read, peer) pair); raises :class:`CodegenError` where only the
-    scalar template applies (replicated writes, opaque index functions).
+    (read, peer) pair); ``backend="overlap"`` emits the split-interior
+    variant (non-blocking receives, interior computed while messages are
+    in flight).  Raises :class:`CodegenError` where only the scalar
+    template applies (replicated writes, opaque index functions).
     """
-    if backend not in ("scalar", "vector"):
+    if backend not in ("scalar", "vector", "overlap"):
         raise ValueError(f"unknown backend {backend!r}")
     if backend == "vector":
         return _emit_distributed_vector(plan)
+    if backend == "overlap":
+        return _emit_distributed_overlap(plan)
     c = plan.clause
     lines: List[str] = []
     w = lines.append
@@ -276,6 +295,128 @@ def _emit_distributed_vector(plan: SPMDPlan) -> str:
     return "\n".join(lines) + "\n"
 
 
+def _emit_distributed_overlap(plan: SPMDPlan) -> str:
+    """Overlapped variant of the §2.10 node program.
+
+    Same batched messages as the vector variant, but receives are
+    *posted* (``ctx.irecv``) instead of awaited: the interior of
+    ``Modify_p`` — lanes whose reads are all locally resident, from the
+    `split-interior` pass via ``RT.interior_index(p)`` — is computed and
+    committed while messages are in flight, then the receives are
+    drained with ``ctx.probe`` and the boundary remainder finishes.
+    Local gathers happen before any commit, so a read of the written
+    array still observes pre-state; element-wise evaluation over lane
+    subsets keeps the result bit-identical to the other backends."""
+    c = plan.clause
+    if plan.write_replicated:
+        raise CodegenError(
+            "replicated write: per-copy broadcast keeps the scalar template"
+        )
+    lines: List[str] = []
+    w = lines.append
+    w(f"def node_program(ctx, RT):")
+    w(f"    # overlapped SPMD node program generated from clause {c.name!r}")
+    w(f"    # write: {plan.write_name}[{plan.write_func.name}] "
+      f"under {plan.write_dec!r}  [rule {plan.modify.rule}]")
+    for read in plan.reads:
+        w(f"    # read{read.pos}: {read.name}[{read.func.name}] "
+          f"under {read.dec!r}  [rule {read.reside.rule}]")
+    w(f"    p = ctx.p")
+    arrays = {plan.write_name}
+    for read in plan.reads:
+        arrays.add(read.name)
+    for name in sorted(arrays):
+        w(f"    {name}_loc = ctx.mem[{name!r}]")
+    w("")
+
+    w(f"    # membership segments (Table I generation functions)")
+    for read in plan.reads:
+        if read.always_local:
+            continue
+        for line in segments_source(read.reside, f"segs_r{read.pos}",
+                                    f"read{read.pos}"):
+            w(f"    {line}")
+    for line in segments_source(plan.modify, "segs_w", "write"):
+        w(f"    {line}")
+    w("")
+
+    f_of_i = ifunc_src(plan.write_func)
+    for read in plan.reads:
+        if read.always_local:
+            w(f"    # read{read.pos} ({read.name}) is replicated: no sends")
+            continue
+        g_src = ifunc_src(read.func)
+        w(f"    # send phase for read{read.pos}: one value vector per "
+          f"destination writer")
+        w(f"    i = _vec_index(segs_r{read.pos})")
+        w(f"    if i.size:")
+        w(f"        ctx.stats.iterations += int(i.size)")
+        w(f"        q = _vec_full({proc_src(plan.write_dec, f_of_i)}, "
+          f"i.size, _np.int64)")
+        w(f"        vals = _vec_full({read.name}_loc"
+          f"[{local_src(read.dec, g_src)}], i.size, _np.float64)")
+        w(f"        for dest in _np.unique(q):")
+        w(f"            if int(dest) != p:")
+        w(f"                ctx.send(int(dest), ('vec', {read.pos}), "
+          f"_np.ascontiguousarray(vals[q == dest]))")
+        w("")
+
+    def temp(ref: Ref) -> str:
+        return next(r.temp for r in plan.reads if r.ref is ref)
+
+    w(f"    # update phase: gather local reads (pre-state), post the")
+    w(f"    # receives, compute the interior while messages are in flight,")
+    w(f"    # drain, finish the boundary")
+    w(f"    i = _vec_index(segs_w)")
+    w(f"    ctx.stats.iterations += int(i.size)")
+    w(f"    if i.size:")
+    w(f"        n = int(i.size)")
+    w(f"        _pending = []")
+    for read in plan.reads:
+        g_src = ifunc_src(read.func)
+        if read.always_local:
+            w(f"        {read.temp} = _vec_full({read.name}_loc"
+              f"[{local_src(read.dec, g_src)}], n, _np.float64)")
+            continue
+        w(f"        src{read.pos} = _vec_full("
+          f"{proc_src(read.dec, g_src)}, n, _np.int64)")
+        w(f"        {read.temp} = _vec_gather({read.name}_loc, _vec_full("
+          f"{local_src(read.dec, g_src)}, n, _np.int64))")
+        w(f"        for s in _np.unique(src{read.pos}[src{read.pos} != p]):")
+        w(f"            _h = yield ctx.irecv(int(s), ('vec', {read.pos}))")
+        w(f"            _pending.append((_h, {read.temp}, "
+          f"src{read.pos} == int(s)))")
+    slot = local_src(plan.write_dec, f_of_i)
+    w(f"        slot = _vec_full({slot}, n, _np.int64)")
+    w(f"        _interior = _np.isin(i, RT.interior_index(p))")
+    w(f"        for _lanes in (_interior, ~_interior):")
+    w(f"            ctx.charge_elements(int(_np.count_nonzero(_lanes)))")
+    w(f"            if _lanes.any():")
+    w(f"                value = _vec_full({vexpr_src(c.rhs, temp)}, "
+      f"n, _np.float64)")
+    if c.guard is not None:
+        w(f"                _lanes = _lanes & _np.broadcast_to(_np.asarray("
+          f"{vexpr_src(c.guard, temp)}, dtype=bool), (n,))")
+    w(f"                {plan.write_name}_loc[slot[_lanes]] = value[_lanes]")
+    w(f"                ctx.stats.local_updates += "
+      f"int(_np.count_nonzero(_lanes))")
+    w(f"            if _pending is not None:")
+    w(f"                # drain the posted receives before the boundary")
+    w(f"                while _pending:")
+    w(f"                    _done = yield ctx.probe("
+      f"[h for h, _, _ in _pending])")
+    w(f"                    for _k, (_h, _t, _m) in enumerate(_pending):")
+    w(f"                        if _h is _done:")
+    w(f"                            _t[_m] = _np.asarray(ctx.note_received(")
+    w(f"                                _done.payload), dtype=_np.float64)")
+    w(f"                            del _pending[_k]")
+    w(f"                            break")
+    w(f"                _pending = None")
+    w("")
+    w(f"    yield ctx.barrier()")
+    return "\n".join(lines) + "\n"
+
+
 def _emit_shared_vector(plan: SPMDPlan) -> str:
     """Vector variant of the §2.9 phase: the whole ``Modify_p`` walk
     becomes one gather / evaluate / fancy-store batch; the returned write
@@ -363,17 +504,22 @@ def compile_distributed(plan: SPMDPlan, backend: str = "scalar"):
     """Emit + compile the distributed node program.
 
     Returns ``(source, factory)`` where ``factory(ctx)`` yields a node
-    generator (the RT tables are bound in).  ``backend="vector"`` falls
-    back to the scalar template when no vector form exists (replicated
-    writes, opaque index functions).
+    generator (the RT tables are bound in).  ``backend="vector"`` and
+    ``backend="overlap"`` fall back to the scalar template when no
+    batched form exists (replicated writes, opaque index functions) —
+    recorded as a note on the plan's trace.
     """
     helpers = SUPPORT_HELPERS
-    if backend == "vector":
+    if backend in ("vector", "overlap"):
         try:
-            source = emit_distributed_source(plan, backend="vector")
+            source = emit_distributed_source(plan, backend=backend)
             helpers = SUPPORT_HELPERS + "\n\n" + VECTOR_HELPERS
-        except CodegenError:
+        except CodegenError as exc:
             source = emit_distributed_source(plan)
+            trace = getattr(plan, "trace", None)
+            if trace is not None:
+                trace.note(f"emitted source for backend={backend!r} fell "
+                           f"back to the scalar template: {exc}")
     else:
         source = emit_distributed_source(plan, backend=backend)
     fn = _exec_source(source, "node_program", helpers)
@@ -385,15 +531,27 @@ def compile_shared(plan: SPMDPlan, backend: str = "scalar"):
     """Emit + compile the shared-memory phase function.
 
     Returns ``(source, phase)`` where ``phase(p, env)`` gives the write
-    buffer for node *p* (index/value vectors under ``backend="vector"``).
+    buffer for node *p* (index/value vectors under ``backend="vector"``;
+    ``backend="overlap"`` has no shared-memory meaning and aliases the
+    vector form).
     """
     helpers = SUPPORT_HELPERS
+    if backend == "overlap":
+        trace = getattr(plan, "trace", None)
+        if trace is not None:
+            trace.note("backend='overlap' on shared memory: no messages "
+                       "to overlap; emitting the vector phase")
+        backend = "vector"
     if backend == "vector":
         try:
             source = emit_shared_source(plan, backend="vector")
             helpers = SUPPORT_HELPERS + "\n\n" + VECTOR_HELPERS
-        except CodegenError:
+        except CodegenError as exc:
             source = emit_shared_source(plan)
+            trace = getattr(plan, "trace", None)
+            if trace is not None:
+                trace.note("emitted source for backend='vector' fell "
+                           f"back to the scalar template: {exc}")
     else:
         source = emit_shared_source(plan, backend=backend)
     fn = _exec_source(source, "node_phase", helpers)

@@ -58,13 +58,27 @@ def run_shared(
 
     ``backend="vector"`` executes ``//`` clauses as NumPy strided
     operations over the closed-form membership segments (• clauses are a
-    serial chain and always take the scalar path).
+    serial chain and always take the scalar path — recorded as a trace
+    note, see ``compile --explain``).  ``backend="overlap"`` has no
+    shared-memory meaning (there is no communication to hide) and runs
+    as the vector backend, also noted on the trace.
     """
-    if backend not in ("scalar", "vector"):
+    if backend not in ("scalar", "vector", "overlap"):
         raise ValueError(f"unknown backend {backend!r}")
     if machine is None:
         machine = SharedMachine(plan.pmax, env)
+    if backend == "overlap":
+        trace = getattr(plan, "trace", None)
+        if trace is not None:
+            trace.note("backend='overlap' on shared memory: no messages "
+                       "to overlap; running the vector backend")
+        backend = "vector"
     if plan.clause.ordering is Ordering.SEQ:
+        if backend == "vector":
+            trace = getattr(plan, "trace", None)
+            if trace is not None:
+                trace.note("backend='vector' fell back to the scalar "
+                           "path: sequential (•) clause is a serial chain")
         _run_shared_seq(plan, machine)
     elif backend == "vector":
         ir = getattr(plan, "ir", None)

@@ -79,6 +79,17 @@ class Decomposition:
             dtype=np.int64, count=idx.size,
         ).reshape(idx.shape)
 
+    # -- caching ---------------------------------------------------------------
+
+    def cache_key(self) -> Tuple:
+        """Structural identity for compile-time caches (Table I memoization,
+        the compiled-plan cache).  Two decompositions with equal keys must
+        have identical ``proc``/``local`` behaviour; subclasses carrying
+        extra parameters extend the tuple.  Return ``None`` to opt a
+        decomposition out of caching (e.g. behaviour driven by mutable or
+        opaque state)."""
+        return (type(self).__name__, self.n, self.pmax)
+
     # -- derived ---------------------------------------------------------------
 
     def place(self, i: int) -> Tuple[int, int]:

@@ -79,5 +79,8 @@ class BlockScatter(Decomposition):
         """Number of rounds of block dealing (the ``k`` range extent)."""
         return ceil_div(self.n, self.b * self.pmax)
 
+    def cache_key(self):
+        return (type(self).__name__, self.n, self.pmax, self.b)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"BlockScatter(n={self.n}, pmax={self.pmax}, b={self.b})"

@@ -148,6 +148,14 @@ class GridDecomposition:
             max(s[d] for s in shapes) for d in range(self.ndim)
         )
 
+    def cache_key(self):
+        """Structural identity for compile-time caches; ``None`` (propagated
+        from any per-axis decomposition that opts out) disables caching."""
+        keys = tuple(d.cache_key() for d in self.dims)
+        if any(k is None for k in keys):
+            return None
+        return (type(self).__name__,) + keys
+
     def validate(self) -> None:
         """Bijectivity check over the full product space (test helper)."""
         seen = set()

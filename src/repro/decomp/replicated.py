@@ -61,6 +61,9 @@ class SingleOwner(Decomposition):
     def local_size(self, p: int) -> int:
         return self.n if p == self.owner else 0
 
+    def cache_key(self):
+        return (type(self).__name__, self.n, self.pmax, self.owner)
+
 
 class Replicated(Decomposition):
     """Every processor holds a full copy.

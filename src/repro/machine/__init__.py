@@ -2,18 +2,30 @@
 for the substitution rationale — this stands in for physical shared- and
 distributed-memory hardware)."""
 
-from .channels import Message, Network
+from .channels import LatencyModel, Message, Network
 from .costmodel import ETHERNET_CLUSTER, HYPERCUBE, SHARED_BUS, CostModel
 from .distributed import DistributedMachine, NodeContext
 from .memory import LocalMemory, gather_global, scatter_global
-from .scheduler import Barrier, DeadlockError, Recv, TraceEvent, Yield, run_spmd
+from .scheduler import (
+    Barrier,
+    DeadlockError,
+    Irecv,
+    Probe,
+    Recv,
+    RecvFuture,
+    TraceEvent,
+    Yield,
+    run_spmd,
+)
 from .trace import activity_spans, overlap_factor, render_timeline
 from .shared import SharedMachine
 from .stats import MachineStats, NodeStats
 from .vectorize import (
     apply_ifunc,
     eval_expr_vec,
+    make_overlap_node_program,
     make_vector_node_program,
+    run_distributed_overlap,
     run_distributed_vector,
     run_shared_vector,
 )
@@ -21,6 +33,7 @@ from .vectorize import (
 __all__ = [
     "Network",
     "Message",
+    "LatencyModel",
     "CostModel",
     "ETHERNET_CLUSTER",
     "HYPERCUBE",
@@ -29,6 +42,9 @@ __all__ = [
     "scatter_global",
     "gather_global",
     "Recv",
+    "Irecv",
+    "Probe",
+    "RecvFuture",
     "Barrier",
     "Yield",
     "DeadlockError",
@@ -47,4 +63,6 @@ __all__ = [
     "run_shared_vector",
     "make_vector_node_program",
     "run_distributed_vector",
+    "make_overlap_node_program",
+    "run_distributed_overlap",
 ]

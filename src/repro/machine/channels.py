@@ -14,9 +14,30 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Any, Deque, Dict, Hashable, Optional, Tuple
 
-__all__ = ["Message", "Network"]
+__all__ = ["Message", "Network", "LatencyModel"]
 
 Tag = Hashable
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Virtual-time cost model for messages and compute.
+
+    A message of *n* elements sent at virtual time *t* is considered
+    delivered at ``t + alpha + beta*n``; each locally computed element
+    costs ``t_element``.  The model is pure *accounting* — it never
+    changes what the deterministic scheduler does, only the per-node
+    virtual clocks (:attr:`~repro.machine.stats.NodeStats.vtime`), so
+    the overlap backend's latency hiding is measurable on the simulator
+    without giving up reproducible runs.  Times are arbitrary units.
+    """
+
+    alpha: float = 0.0      # fixed per-message latency
+    beta: float = 0.0       # per-element transfer time
+    t_element: float = 0.0  # per-element compute time
+
+    def message_time(self, nelems: int) -> float:
+        return self.alpha + self.beta * nelems
 
 
 @dataclass(frozen=True)
@@ -25,13 +46,20 @@ class Message:
     dst: int
     tag: Tag
     payload: Any
+    deliver_time: float = 0.0
+
+
+def _payload_elements(payload: Any) -> int:
+    size = getattr(payload, "size", None)
+    return int(size) if size is not None else 1
 
 
 class Network:
     """FIFO channels between every ordered pair of nodes."""
 
-    def __init__(self, pmax: int):
+    def __init__(self, pmax: int, model: Optional[LatencyModel] = None):
         self.pmax = pmax
+        self.model = model
         self._queues: Dict[Tuple[int, int], Deque[Message]] = {}
         self.total_messages = 0
 
@@ -47,11 +75,19 @@ class Network:
         if not (0 <= p < self.pmax):
             raise IndexError(f"{role} {p} out of range 0:{self.pmax - 1}")
 
-    def send(self, src: int, dst: int, tag: Tag, payload: Any) -> None:
-        """Non-blocking send: enqueue and return immediately."""
+    def send(self, src: int, dst: int, tag: Tag, payload: Any,
+             now: float = 0.0) -> None:
+        """Non-blocking send: enqueue and return immediately.
+
+        *now* is the sender's virtual time; with a latency model the
+        message is stamped with its modeled delivery time, which the
+        scheduler folds into the receiver's clock on receipt."""
         self._check(src, "source")
         self._check(dst, "destination")
-        self._q(src, dst).append(Message(src, dst, tag, payload))
+        deliver = now
+        if self.model is not None:
+            deliver = now + self.model.message_time(_payload_elements(payload))
+        self._q(src, dst).append(Message(src, dst, tag, payload, deliver))
         self.total_messages += 1
 
     def try_recv(self, dst: int, src: int, tag: Tag) -> Optional[Message]:

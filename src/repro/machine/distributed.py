@@ -19,9 +19,10 @@ from typing import Any, Callable, Dict, Hashable, List, Optional
 import numpy as np
 
 from ..decomp.base import Decomposition
-from .channels import Network
+from .channels import LatencyModel, Network
 from .memory import LocalMemory, gather_global, scatter_global
-from .scheduler import Barrier, NodeGen, Recv, Yield, run_spmd
+from .scheduler import Barrier, Irecv, NodeGen, Probe, Recv, RecvFuture, \
+    Yield, run_spmd
 from .stats import MachineStats
 
 __all__ = ["NodeContext", "DistributedMachine"]
@@ -40,7 +41,8 @@ class NodeContext:
 
     def send(self, dst: int, tag: Hashable, payload: Any) -> None:
         """Non-blocking send (paper's ``send(proc, data)``)."""
-        self.machine.network.send(self.p, dst, tag, payload)
+        self.machine.network.send(self.p, dst, tag, payload,
+                                  now=self.stats.vtime)
         self.stats.sends += 1
         n = payload.size if isinstance(payload, np.ndarray) else 1
         self.stats.elements_sent += n
@@ -49,8 +51,25 @@ class NodeContext:
         """Blocking receive *request* — ``value = yield ctx.recv(src, tag)``."""
         return Recv(src, tag)
 
+    def irecv(self, src: int, tag: Hashable) -> Irecv:
+        """Non-blocking receive *request* — ``handle = yield ctx.irecv(...)``
+        resumes immediately with a :class:`RecvFuture`."""
+        return Irecv(src, tag)
+
+    def probe(self, handles) -> Probe:
+        """Wait-any *request* over posted handles —
+        ``done = yield ctx.probe(handles)``."""
+        return Probe(handles)
+
     def barrier(self) -> Barrier:
         return Barrier()
+
+    def charge_elements(self, n: int) -> None:
+        """Advance this node's virtual clock by *n* computed elements
+        (no-op without a latency model)."""
+        model = self.machine.model
+        if model is not None and n:
+            self.stats.vtime += n * model.t_element
 
     def note_received(self, payload: Any) -> Any:
         """Book-keeping hook generated programs call on each received value."""
@@ -71,12 +90,13 @@ class NodeContext:
 class DistributedMachine:
     """``pmax`` nodes, local memories, a network, and a scheduler."""
 
-    def __init__(self, pmax: int):
+    def __init__(self, pmax: int, model: Optional[LatencyModel] = None):
         if pmax < 1:
             raise ValueError("pmax must be >= 1")
         self.pmax = pmax
+        self.model = model
         self.memories: List[LocalMemory] = [LocalMemory(p) for p in range(pmax)]
-        self.network = Network(pmax)
+        self.network = Network(pmax, model=model)
         self.stats = MachineStats.for_nodes(pmax)
         self.decomps: Dict[str, Decomposition] = {}
 

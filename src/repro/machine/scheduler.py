@@ -5,6 +5,10 @@ machine — a blocking receive or a barrier — and yields a request object.
 The scheduler resumes it when the request can be satisfied:
 
 * ``Recv(src, tag)``   — resumed with the message payload once delivered;
+* ``Irecv(src, tag)``  — non-blocking: resumed *immediately* with a
+  :class:`RecvFuture` handle (the receive is only posted);
+* ``Probe(handles)``   — resumed with the first posted handle whose
+  message is available, fulfilled (``handle.payload`` set);
 * ``Barrier()``        — resumed when all *live* nodes reach the barrier
   (nodes that already terminated no longer participate);
 * ``Yield()``          — resumed on the next round (cooperative pause).
@@ -18,13 +22,13 @@ diagnosis — the simulator's replacement for a hung MPI job.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Generator, Hashable, List, Optional
+from typing import Any, Dict, Generator, Hashable, List, Optional, Tuple
 
 from .channels import Network
 from .stats import MachineStats
 
-__all__ = ["Recv", "Barrier", "Yield", "DeadlockError", "TraceEvent",
-           "run_spmd"]
+__all__ = ["Recv", "Irecv", "Probe", "RecvFuture", "Barrier", "Yield",
+           "DeadlockError", "TraceEvent", "run_spmd"]
 
 
 @dataclass(frozen=True)
@@ -50,6 +54,41 @@ class Recv:
 
 
 @dataclass(frozen=True)
+class Irecv:
+    """Non-blocking receive request: post and continue.
+
+    The scheduler resumes the node immediately with a fresh
+    :class:`RecvFuture`; the message is consumed later by a
+    :class:`Probe` naming that handle."""
+
+    src: int
+    tag: Hashable
+
+
+@dataclass(eq=False)
+class RecvFuture:
+    """Handle for a posted :class:`Irecv` (identity, not value, equality)."""
+
+    src: int
+    tag: Hashable
+    payload: Any = None
+    done: bool = False
+
+
+@dataclass(frozen=True)
+class Probe:
+    """Wait for any of the posted receives to complete.
+
+    Resumed with the first handle (in list order) whose message is
+    available; its ``payload``/``done`` fields are filled in."""
+
+    handles: Tuple[RecvFuture, ...]
+
+    def __init__(self, handles):
+        object.__setattr__(self, "handles", tuple(handles))
+
+
+@dataclass(frozen=True)
 class Barrier:
     """Global barrier request."""
 
@@ -68,7 +107,9 @@ class DeadlockError(RuntimeError):
     Carries the structured diagnosis alongside the message:
 
     * ``blocked`` — ``{p: ("recv", src, tag)}`` for nodes stuck in a
-      receive, ``{p: ("barrier",)}`` for nodes parked at a barrier;
+      receive, ``{p: ("probe", ((src, tag), ..))}`` for nodes probing
+      posted non-blocking receives, ``{p: ("barrier",)}`` for nodes
+      parked at a barrier;
     * ``undelivered`` — in-flight ``(src, dst, tag)`` triples that no
       pending receive matches.
     """
@@ -119,9 +160,13 @@ def run_spmd(
 
         # Barrier release: every live node is at the barrier.
         if at_barrier and at_barrier == set(live):
+            if stats is not None:
+                # a barrier synchronizes the virtual clocks to the laggard
+                vmax = max((stats[p].vtime for p in at_barrier), default=0.0)
             for p in sorted(at_barrier):
                 if stats is not None:
                     stats[p].barriers += 1
+                    stats[p].vtime = vmax
                 waiting.pop(p, None)
                 send_value[p] = None
             at_barrier.clear()
@@ -140,9 +185,41 @@ def run_spmd(
                 if msg is not None:
                     if stats is not None:
                         stats[p].recvs += 1
+                        stats[p].vtime = max(stats[p].vtime, msg.deliver_time)
                     waiting.pop(p)
                     emit(rounds, p, "recv")
                     _advance(p, live, waiting, msg.payload, stats)
+                    if p not in live:
+                        emit(rounds, p, "retire")
+                    progressed = True
+            elif isinstance(req, Irecv):
+                fut = RecvFuture(req.src, req.tag)
+                waiting.pop(p)
+                emit(rounds, p, "step")
+                _advance(p, live, waiting, fut, stats)
+                if p not in live:
+                    emit(rounds, p, "retire")
+                progressed = True
+            elif isinstance(req, Probe):
+                hit = None
+                for h in req.handles:
+                    if h.done:
+                        hit = h
+                        break
+                    msg = network.try_recv(p, h.src, h.tag)
+                    if msg is not None:
+                        h.payload = msg.payload
+                        h.done = True
+                        if stats is not None:
+                            stats[p].recvs += 1
+                            stats[p].vtime = max(stats[p].vtime,
+                                                 msg.deliver_time)
+                        hit = h
+                        break
+                if hit is not None:
+                    waiting.pop(p)
+                    emit(rounds, p, "recv")
+                    _advance(p, live, waiting, hit, stats)
                     if p not in live:
                         emit(rounds, p, "retire")
                     progressed = True
@@ -165,17 +242,26 @@ def run_spmd(
                 raise TypeError(f"node {p} yielded unknown request {req!r}")
 
         if not progressed and not (at_barrier and at_barrier == set(live)):
-            diag = {
-                p: (f"recv(src={r.src}, tag={r.tag!r})" if isinstance(r, Recv)
-                    else "barrier" if isinstance(r, Barrier) else repr(r))
-                for p, r in waiting.items()
-            }
-            blocked = {
-                p: (("recv", r.src, r.tag) if isinstance(r, Recv)
-                    else ("barrier",) if isinstance(r, Barrier)
-                    else ("other", repr(r)))
-                for p, r in waiting.items()
-            }
+            def _diag(r):
+                if isinstance(r, Recv):
+                    return f"recv(src={r.src}, tag={r.tag!r})"
+                if isinstance(r, Probe):
+                    pend = [(h.src, h.tag) for h in r.handles if not h.done]
+                    return f"probe({pend!r})"
+                return "barrier" if isinstance(r, Barrier) else repr(r)
+
+            def _blocked(r):
+                if isinstance(r, Recv):
+                    return ("recv", r.src, r.tag)
+                if isinstance(r, Probe):
+                    return ("probe", tuple(
+                        (h.src, h.tag) for h in r.handles if not h.done))
+                if isinstance(r, Barrier):
+                    return ("barrier",)
+                return ("other", repr(r))
+
+            diag = {p: _diag(r) for p, r in waiting.items()}
+            blocked = {p: _blocked(r) for p, r in waiting.items()}
             undelivered = network.pending_messages()
             raise DeadlockError(
                 f"deadlock after {rounds} rounds; blocked nodes: {diag}; "

@@ -26,6 +26,8 @@ class NodeStats:
     iterations: int = 0
     barriers: int = 0
     steps: int = 0  # scheduler resumptions
+    #: virtual clock under the optional latency model (stays 0.0 without it)
+    vtime: float = 0.0
 
     def busy_work(self) -> int:
         return self.local_updates + self.elements_sent + self.elements_received
@@ -63,6 +65,11 @@ class MachineStats:
 
     def update_counts(self) -> List[int]:
         return [n.local_updates for n in self.nodes]
+
+    def makespan(self) -> float:
+        """Modeled completion time: the laggard node's virtual clock
+        (0.0 when no latency model was attached to the run)."""
+        return max((n.vtime for n in self.nodes), default=0.0)
 
     def load_imbalance(self) -> float:
         """max/mean of per-node updates (1.0 = perfectly balanced)."""

@@ -45,6 +45,8 @@ __all__ = [
     "run_shared_vector",
     "make_vector_node_program",
     "run_distributed_vector",
+    "make_overlap_node_program",
+    "run_distributed_overlap",
 ]
 
 #: element-wise operator table (the ndarray-safe counterpart of
@@ -311,6 +313,7 @@ def make_vector_node_program(ir: PlanIR, ctx: NodeContext):
             def fetch(ref: Ref):
                 return by_ref[id(ref)]
 
+            ctx.charge_elements(n)
             mask = None
             if clause.guard is not None:
                 mask = np.broadcast_to(np.asarray(
@@ -332,10 +335,25 @@ def make_vector_node_program(ir: PlanIR, ctx: NodeContext):
     return program()
 
 
+def _place_env(ir: PlanIR, env: Dict[str, np.ndarray],
+               machine: DistributedMachine) -> None:
+    decs = {ir.write.name: ir.write.dec}
+    for acc in ir.reads:
+        decs.setdefault(acc.name, acc.dec)
+    for name, dec in decs.items():
+        arr = np.asarray(env[name], dtype=np.float64)
+        if isinstance(dec, GridDecomposition):
+            scatter_global_nd(name, arr, dec, machine.memories)
+            machine.decomps[name] = dec
+        else:
+            machine.place(name, arr, dec)
+
+
 def run_distributed_vector(
     ir: PlanIR,
     env: Dict[str, np.ndarray],
     machine: Optional[DistributedMachine] = None,
+    model=None,
 ) -> DistributedMachine:
     """Place *env*, run the batched node programs, return the machine."""
     clause = ir.clause
@@ -344,16 +362,166 @@ def run_distributed_vector(
     if ir.write.replicated:
         raise ValueError("replicated writes keep the scalar path")
     if machine is None:
-        machine = DistributedMachine(ir.pmax)
-        decs = {ir.write.name: ir.write.dec}
-        for acc in ir.reads:
-            decs.setdefault(acc.name, acc.dec)
-        for name, dec in decs.items():
-            arr = np.asarray(env[name], dtype=np.float64)
-            if isinstance(dec, GridDecomposition):
-                scatter_global_nd(name, arr, dec, machine.memories)
-                machine.decomps[name] = dec
-            else:
-                machine.place(name, arr, dec)
+        machine = DistributedMachine(ir.pmax, model=model)
+        _place_env(ir, env, machine)
     machine.run(lambda ctx: make_vector_node_program(ir, ctx))
+    return machine
+
+
+# ---------------------------------------------------------------------------
+# overlapped executor (interior/boundary split, non-blocking receives)
+# ---------------------------------------------------------------------------
+
+def _interior_mask(ir: PlanIR, p: int, idx_vecs: List[np.ndarray]) -> np.ndarray:
+    """Boolean mask over the flattened ``Modify_p`` enumeration selecting
+    the node's interior (every non-replicated read locally resident).
+
+    The per-dimension interior segments come from the `split-interior`
+    pass; the product structure means the mask is the AND of per-dimension
+    memberships.  A plan compiled without the pass gets an empty interior
+    — the overlap program then degrades to the vector schedule (drain
+    first, then compute), which is still correct."""
+    n = int(idx_vecs[0].size)
+    split = ir.interior_split
+    if split is None or p not in split.per_node:
+        return np.zeros(n, dtype=bool)
+    ns = split.per_node[p]
+    mask = np.ones(n, dtype=bool)
+    for d, segs in enumerate(ns.interior):
+        if not segs:
+            return np.zeros(n, dtype=bool)
+        members = np.concatenate([s.index_array() for s in segs])
+        mask &= np.isin(idx_vecs[d], members)
+    return mask
+
+
+def make_overlap_node_program(ir: PlanIR, ctx: NodeContext):
+    """Overlapped node program: communicate and compute concurrently.
+
+    Schedule per node: (1) post all sends (same batched messages and tags
+    as the vector program); (2) gather every locally resident read value
+    — *before* any commit, so a read of the written array still sees
+    pre-state; (3) post non-blocking receives for the remote portions;
+    (4) compute and commit the interior (all reads local by
+    construction) while messages are in flight; (5) drain the receives
+    with Probe; (6) compute and commit the boundary remainder.
+
+    Element-wise float64 evaluation is per-lane, so computing the
+    interior and boundary as separate sub-vectors is bit-identical to the
+    vector program's single full-vector evaluation.
+    """
+
+    def program():
+        p = ctx.p
+        clause = ir.clause
+        refs = list(clause.reads())
+
+        # ---- send phase (identical to the vector program) -----------------
+        for acc in ir.reads:
+            if acc.replicated:
+                continue
+            idx_vecs = _member_vecs(ir, acc, p)
+            n = int(idx_vecs[0].size)
+            if n == 0:
+                continue
+            ctx.stats.iterations += n
+            dest = _proc_linear(ir.write, idx_vecs)
+            vals = _gather_local(ctx.mem, acc, idx_vecs)
+            for q in np.unique(dest):
+                q = int(q)
+                if q == p:
+                    continue
+                ctx.send(q, ("vec", acc.pos),
+                         np.ascontiguousarray(vals[dest == q]))
+
+        # ---- update phase -------------------------------------------------
+        idx_vecs = _member_vecs(ir, ir.write, p)
+        n = int(idx_vecs[0].size)
+        ctx.stats.iterations += n
+        if n:
+            # Local gathers first (pre-state), then post the receives.
+            by_ref: Dict[int, np.ndarray] = {}
+            pending = []  # (handle, value vector, lanes it fills)
+            for acc, ref in zip(ir.reads, refs):
+                if acc.replicated:
+                    by_ref[id(ref)] = _gather_local(ctx.mem, acc, idx_vecs)
+                    continue
+                src = _proc_linear(acc, idx_vecs)
+                vals = np.empty(n, dtype=np.float64)
+                local = src == p
+                if local.any():
+                    sub = [v[local] for v in idx_vecs]
+                    vals[local] = _gather_local(ctx.mem, acc, sub)
+                for s in np.unique(src[~local]):
+                    handle = yield ctx.irecv(int(s), ("vec", acc.pos))
+                    pending.append((handle, vals, src == int(s)))
+                by_ref[id(ref)] = vals
+
+            def commit(lanes: np.ndarray) -> None:
+                """Evaluate guard/body over the selected lanes and store."""
+                if not lanes.size:
+                    return
+                sub_idx = [v[lanes] for v in idx_vecs]
+
+                def fetch(ref: Ref):
+                    return by_ref[id(ref)][lanes]
+
+                m = int(lanes.size)
+                mask = None
+                if clause.guard is not None:
+                    mask = np.broadcast_to(np.asarray(
+                        eval_expr_vec(clause.guard, sub_idx, fetch),
+                        dtype=bool), (m,))
+                values = _as_value_vec(
+                    eval_expr_vec(clause.rhs, sub_idx, fetch), m)
+                key = _local_key(ir.write, sub_idx)
+                key_vecs = key if isinstance(key, tuple) else (key,)
+                if mask is not None:
+                    key_vecs = tuple(a[mask] for a in key_vecs)
+                    values = values[mask]
+                buf = ctx.mem[ir.write.name]
+                buf[key_vecs if len(key_vecs) > 1 else key_vecs[0]] = values
+                ctx.stats.local_updates += int(values.size)
+
+            # Interior while messages are in flight.
+            interior = _interior_mask(ir, p, idx_vecs)
+            ilanes = np.nonzero(interior)[0]
+            ctx.charge_elements(int(ilanes.size))
+            commit(ilanes)
+
+            # Drain the posted receives.
+            while pending:
+                done = yield ctx.probe([h for h, _, _ in pending])
+                k = next(i for i, (h, _, _) in enumerate(pending)
+                         if h is done)
+                _, vals, fill = pending.pop(k)
+                vals[fill] = np.asarray(
+                    ctx.note_received(done.payload), dtype=np.float64)
+
+            # Boundary remainder.
+            blanes = np.nonzero(~interior)[0]
+            ctx.charge_elements(int(blanes.size))
+            commit(blanes)
+
+        yield ctx.barrier()
+
+    return program()
+
+
+def run_distributed_overlap(
+    ir: PlanIR,
+    env: Dict[str, np.ndarray],
+    machine: Optional[DistributedMachine] = None,
+    model=None,
+) -> DistributedMachine:
+    """Place *env*, run the overlapped node programs, return the machine."""
+    clause = ir.clause
+    if clause.ordering is not Ordering.PAR:
+        raise ValueError("the overlap executor handles // clauses")
+    if ir.write.replicated:
+        raise ValueError("replicated writes keep the scalar path")
+    if machine is None:
+        machine = DistributedMachine(ir.pmax, model=model)
+        _place_env(ir, env, machine)
+    machine.run(lambda ctx: make_overlap_node_program(ir, ctx))
     return machine

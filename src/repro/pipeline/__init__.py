@@ -13,7 +13,15 @@ from __future__ import annotations
 from typing import Dict, Optional, Sequence
 
 from ..core.clause import Clause
-from .ir import AccessIR, AxisAccess, PlanIR, access_spec
+from .cache import (
+    PlanCache,
+    clear_plan_cache,
+    enable_plan_cache,
+    plan_cache,
+    plan_cache_info,
+    plan_key,
+)
+from .ir import AccessIR, AxisAccess, InteriorSplit, NodeSplit, PlanIR, access_spec
 from .manager import PassManager
 from .passes import (
     EliminateBarriers,
@@ -22,6 +30,7 @@ from .passes import (
     OptimizeMembership,
     Pass,
     RecognizeReduction,
+    SplitInterior,
     SubstituteViews,
     default_passes,
 )
@@ -30,6 +39,8 @@ from .trace import PassRecord, PipelineTrace
 __all__ = [
     "AccessIR",
     "AxisAccess",
+    "NodeSplit",
+    "InteriorSplit",
     "PlanIR",
     "PassManager",
     "PassRecord",
@@ -37,6 +48,7 @@ __all__ = [
     "Pass",
     "SubstituteViews",
     "OptimizeMembership",
+    "SplitInterior",
     "InsertHalo",
     "EliminateBarriers",
     "RecognizeReduction",
@@ -44,6 +56,12 @@ __all__ = [
     "default_passes",
     "access_spec",
     "compile_plan",
+    "PlanCache",
+    "plan_cache",
+    "plan_key",
+    "enable_plan_cache",
+    "plan_cache_info",
+    "clear_plan_cache",
 ]
 
 
@@ -60,7 +78,22 @@ def compile_plan(
     *successor* enables the `eliminate-barriers` pass to analyse the
     following clause; *require_read_decomps* is relaxed by the nd
     shared-memory path, where reads address global memory directly.
+
+    Compilations through the default pass list are memoized in the
+    process-global :data:`~repro.pipeline.cache.plan_cache` on a
+    structural key; a hit returns a clone whose trace carries
+    ``cache_hit=True``.  Custom *passes* bypass the cache.
     """
+    key = None
+    if passes is None:
+        key = plan_cache.key_for(
+            clause, decomps, successor=successor,
+            require_read_decomps=require_read_decomps,
+        )
+        if key is not None:
+            hit = plan_cache.lookup(key, clause, decomps, successor)
+            if hit is not None:
+                return hit
     ir = PlanIR(
         clause=clause,
         decomps=dict(decomps),
@@ -68,4 +101,7 @@ def compile_plan(
         require_read_decomps=require_read_decomps,
     )
     PassManager(passes).run(ir)
+    if key is not None:
+        ir.trace.cache_key = key
+        plan_cache.store(key, ir)
     return ir

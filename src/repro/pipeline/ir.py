@@ -26,7 +26,8 @@ from ..core.view import ProjectedMap, SeparableMap
 from ..decomp.multidim import GridDecomposition
 from .trace import PipelineTrace
 
-__all__ = ["AxisAccess", "AccessIR", "PlanIR", "access_spec"]
+__all__ = ["AxisAccess", "AccessIR", "NodeSplit", "InteriorSplit", "PlanIR",
+           "access_spec"]
 
 
 def access_spec(imap) -> Tuple[Tuple[int, ...], tuple]:
@@ -95,6 +96,52 @@ class AccessIR:
 
 
 @dataclass
+class NodeSplit:
+    """One node's interior/boundary partition of ``Modify_p``.
+
+    ``modify[d]`` / ``interior[d]`` are the sorted disjoint segment lists
+    for loop dimension *d*; the node's interior is the cartesian product
+    of the per-dimension interiors (the factorized form — see the
+    `split-interior` pass), and the boundary is ``Modify_p`` minus that
+    product (computed by the executor via per-dimension masks; it does
+    not factorize)."""
+
+    modify: List[list]    # per loop-dim List[Segment]
+    interior: List[list]  # per loop-dim List[Segment]
+
+    def _prod(self, per_dim: List[list]) -> int:
+        total = 1
+        for segs in per_dim:
+            total *= sum(s.count() for s in segs)
+        return total
+
+    @property
+    def modify_count(self) -> int:
+        return self._prod(self.modify)
+
+    @property
+    def interior_count(self) -> int:
+        return self._prod(self.interior)
+
+    @property
+    def boundary_count(self) -> int:
+        return self.modify_count - self.interior_count
+
+
+@dataclass
+class InteriorSplit:
+    """The `split-interior` pass product: per-node partitions."""
+
+    per_node: Dict[int, NodeSplit] = field(default_factory=dict)
+
+    def totals(self) -> Tuple[int, int, int]:
+        """``(modify, interior, boundary)`` element totals over all nodes."""
+        m = sum(ns.modify_count for ns in self.per_node.values())
+        i = sum(ns.interior_count for ns in self.per_node.values())
+        return m, i, m - i
+
+
+@dataclass
 class PlanIR:
     """The unified plan: clause + substituted accesses + pass-derived
     facts, accumulated by the pass pipeline."""
@@ -116,6 +163,7 @@ class PlanIR:
     barrier_needed: bool = True
     reduction: Optional[object] = None
     doacross_distances: Dict[int, int] = field(default_factory=dict)
+    interior_split: Optional[InteriorSplit] = None
 
     trace: PipelineTrace = field(default_factory=PipelineTrace)
 
@@ -149,6 +197,9 @@ class PlanIR:
             flags.append("reduction")
         if self.doacross_distances:
             flags.append(f"doacross={self.doacross_distances}")
+        if self.interior_split is not None:
+            m, i, b = self.interior_split.totals()
+            flags.append(f"interior={i}/{m} boundary={b}")
         flags.append(f"barrier={'kept' if self.barrier_needed else 'eliminated'}")
         lines.append("  " + " ".join(flags))
         return "\n".join(lines)

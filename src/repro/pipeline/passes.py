@@ -37,13 +37,16 @@ from ..core.clause import Ordering
 from ..core.ifunc import AffineF
 from ..decomp.multidim import GridDecomposition
 from ..decomp.overlap import OverlappedBlock
+from ..sets.enumerators import Segment, intersect_segments
 from ..sets.table1 import optimize_access
-from .ir import AccessIR, AxisAccess, PlanIR, access_spec
+from .ir import AccessIR, AxisAccess, InteriorSplit, NodeSplit, PlanIR, \
+    access_spec
 
 __all__ = [
     "Pass",
     "SubstituteViews",
     "OptimizeMembership",
+    "SplitInterior",
     "InsertHalo",
     "EliminateBarriers",
     "RecognizeReduction",
@@ -153,6 +156,128 @@ class OptimizeMembership(Pass):
                 if not ax.access.rule.startswith("naive"):
                     rewrites += 1
         return rewrites, notes
+
+
+class SplitInterior(Pass):
+    """Partition each node's ``Modify_p`` into *interior* (every
+    non-replicated read already locally resident — computable while
+    messages are in flight) and a *boundary* remainder (needs remote
+    values), by pure segment arithmetic on the Table I enumerations.
+
+    Because every access factorizes per loop dimension, so does the
+    interior:
+
+        ``interior_d(p) = write_d(p) ∩ (∩ over reads covering d of
+        resident_d(p))``
+
+    and ``interior(p) = ∏_d interior_d(p)`` while ``boundary(p) =
+    Modify_p − interior(p)`` (which does not factorize; the overlap
+    executor recovers it with per-dimension membership masks).  The pass
+    only records segments on the IR — the `overlap` backend consumes
+    them; scalar/vector backends ignore them."""
+
+    name = "split-interior"
+    paper = "§5 overlap (future work)"
+
+    def run(self, ir: PlanIR) -> PassResult:
+        ir.interior_split = None
+        skip = self._inapplicable(ir)
+        if skip is not None:
+            return 0, [f"skipped: {skip}"]
+
+        dim_axis = {ax.loop_dim: (k, ax)
+                    for k, ax in enumerate(ir.write.axes)}
+        split = InteriorSplit()
+        for p in range(ir.pmax):
+            wcoord = ir.write.grid_coord(p)
+            modify = []
+            interior = []
+            for d in range(ir.ndim):
+                k, ax = dim_axis[d]
+                segs = ax.access.enumerate(wcoord[k]).segments
+                modify.append(list(segs))
+                interior.append(list(segs))
+            for acc in ir.reads:
+                if acc.replicated:
+                    continue
+                coord = acc.grid_coord(p)
+                for k, ax in enumerate(acc.axes):
+                    d = ax.loop_dim
+                    res = self._resident_segments(ir, ax, coord[k], d)
+                    interior[d] = intersect_segments(interior[d], res)
+            split.per_node[p] = NodeSplit(modify=modify, interior=interior)
+
+        ir.interior_split = split
+        m, i, b = split.totals()
+        notes = []
+        for d in range(ir.ndim):
+            mod_d = sum(sum(s.count() for s in split.per_node[p].modify[d])
+                        for p in range(ir.pmax))
+            int_d = sum(sum(s.count() for s in split.per_node[p].interior[d])
+                        for p in range(ir.pmax))
+            notes.append(f"axis dim{d}: interior {int_d}/{mod_d} index "
+                         f"points, boundary {mod_d - int_d} "
+                         f"(summed over {ir.pmax} nodes)")
+        notes.append(f"total elements: interior={i} boundary={b} "
+                     f"of modify={m}")
+        return (1 if i > 0 else 0), notes
+
+    # -- helpers -------------------------------------------------------------
+
+    @staticmethod
+    def _inapplicable(ir: PlanIR) -> "str | None":
+        """Reason the split cannot be computed, or None if it can."""
+        if ir.clause.ordering is not Ordering.PAR:
+            return "sequential (•) clause: phase order is fixed"
+        w = ir.write
+        if w is None or not w.placed:
+            return "write access is unplaced"
+        if w.replicated:
+            return "replicated write: every node computes all of Modify"
+        if not w.axes or any(ax.access is None for ax in w.axes):
+            return "write has no optimized per-axis enumerators"
+        covered = sorted(ax.loop_dim for ax in w.axes)
+        if covered != list(range(ir.ndim)):
+            return "write does not cover every loop dimension"
+        for acc in ir.reads:
+            if acc.replicated:
+                continue
+            if not acc.placed:
+                return f"{acc.label}:{acc.name} is unplaced"
+            if not acc.axes or any(ax.access is None for ax in acc.axes):
+                return (f"{acc.label}:{acc.name} has no optimized "
+                        "per-axis enumerators")
+        return None
+
+    @staticmethod
+    def _resident_segments(ir: PlanIR, ax: AxisAccess, pcoord: int,
+                           d: int) -> list:
+        """Loop indices along dim *d* whose read element is locally
+        resident on axis-coordinate *pcoord*.
+
+        Ownership (the Table I enumeration) is always resident; an
+        :class:`OverlappedBlock` axis with an affine access additionally
+        resolves the whole halo-extended range locally, inverted in
+        closed form.  Anything short of that falls back to ownership —
+        a conservative (smaller) interior, never an incorrect one."""
+        dec = ax.dec
+        f = ax.func
+        if isinstance(dec, OverlappedBlock) and isinstance(f, AffineF) \
+                and f.a != 0:
+            lo_r, hi_r = dec.resident_range(pcoord)
+            if lo_r > hi_r:
+                return []
+            # i with lo_r <= a.i + c <= hi_r  (every such i qualifies)
+            if f.a > 0:
+                ilo = -(-(lo_r - f.c) // f.a)   # ceil
+                ihi = (hi_r - f.c) // f.a       # floor
+            else:
+                ilo = -(-(hi_r - f.c) // f.a)
+                ihi = (lo_r - f.c) // f.a
+            blo, bhi = ir.loop_bounds[d]
+            ilo, ihi = max(ilo, blo), min(ihi, bhi)
+            return [Segment(ilo, ihi, 1)] if ilo <= ihi else []
+        return ax.access.enumerate(pcoord).segments
 
 
 class InsertHalo(Pass):
@@ -270,6 +395,7 @@ def default_passes() -> List[Pass]:
     return [
         SubstituteViews(),
         OptimizeMembership(),
+        SplitInterior(),
         InsertHalo(),
         EliminateBarriers(),
         RecognizeReduction(),

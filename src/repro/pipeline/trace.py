@@ -43,10 +43,20 @@ class PipelineTrace:
 
     label: str = ""
     records: List[PassRecord] = field(default_factory=list)
+    #: trace-level remarks outside any single pass (backend fallbacks, ..)
+    notes: List[str] = field(default_factory=list)
+    #: True when this compilation was served from the plan cache
+    cache_hit: bool = False
+    #: the structural plan-cache key, when one could be built
+    cache_key: Optional[tuple] = None
 
     def add(self, record: PassRecord) -> PassRecord:
         self.records.append(record)
         return record
+
+    def note(self, message: str) -> None:
+        """Attach a trace-level remark (shown by ``compile --explain``)."""
+        self.notes.append(message)
 
     def names(self) -> List[str]:
         return [r.name for r in self.records]
@@ -71,6 +81,8 @@ class PipelineTrace:
         head = f"pipeline {self.label or '<anonymous>'}: " \
                f"{len(self.records)} passes, " \
                f"{self.total_rewrites()} rewrites, {self.total_ms():.3f} ms"
+        if self.cache_hit:
+            head += "  [plan-cache hit]"
         lines = [head]
         for k, r in enumerate(self.records, 1):
             lines.append(f"  {k}. {r.headline()}")
@@ -79,6 +91,8 @@ class PipelineTrace:
             if verbose and r.after and r.after != r.before:
                 for ln in r.after.splitlines():
                     lines.append(f"       | {ln}")
+        for note in self.notes:
+            lines.append(f"  note: {note}")
         return "\n".join(lines)
 
     def summary(self) -> Dict[str, object]:
@@ -97,4 +111,6 @@ class PipelineTrace:
             ],
             "total_rewrites": self.total_rewrites(),
             "total_ms": self.total_ms(),
+            "notes": list(self.notes),
+            "cache_hit": self.cache_hit,
         }

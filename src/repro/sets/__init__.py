@@ -3,6 +3,7 @@
 from .enumerators import (
     Enumeration,
     Segment,
+    difference_segments,
     enum_block,
     enum_constant,
     enum_naive,
@@ -12,9 +13,17 @@ from .enumerators import (
     enum_scatter_linear,
     enum_scatter_on_k,
     enum_trivial,
+    intersect_segments,
+    segments_from_indices,
 )
 from .membership import Work, all_naive, modify_naive, reside_naive
-from .table1 import OptimizedAccess, choose_rule, optimize_access
+from .table1 import (
+    OptimizedAccess,
+    choose_rule,
+    clear_table1_cache,
+    optimize_access,
+    table1_cache_info,
+)
 
 __all__ = [
     "Work",
@@ -35,4 +44,9 @@ __all__ = [
     "OptimizedAccess",
     "optimize_access",
     "choose_rule",
+    "segments_from_indices",
+    "intersect_segments",
+    "difference_segments",
+    "table1_cache_info",
+    "clear_table1_cache",
 ]

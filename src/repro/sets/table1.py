@@ -26,8 +26,10 @@ sets are completely reduced at compile time" (§3).
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, Dict, Optional, Tuple
 
 from ..core.ifunc import AffineF, ConstantF, IFunc, ModularF
 from ..decomp.base import Decomposition
@@ -49,7 +51,8 @@ from .enumerators import (
 )
 from .membership import Work
 
-__all__ = ["OptimizedAccess", "optimize_access", "choose_rule"]
+__all__ = ["OptimizedAccess", "optimize_access", "choose_rule",
+           "table1_cache_info", "clear_table1_cache"]
 
 EnumFn = Callable[[Decomposition, IFunc, int, int, int, Work], Enumeration]
 
@@ -163,12 +166,75 @@ def _sample_piece(f: ModularF, imin: int, imax: int) -> IFunc:
     return pieces[0][2] if pieces else f.g
 
 
-def optimize_access(
-    d: Decomposition, f: IFunc, imin: int, imax: int
-) -> OptimizedAccess:
-    """Compile one access: returns the optimized membership enumerator."""
+# -- memoization --------------------------------------------------------------
+#
+# Access compilation is pure in (decomposition structure, f, imin, imax) but
+# decompositions are identity-hashed, so a plain ``functools.lru_cache`` would
+# never hit across reconstructed objects.  We key on ``d.cache_key()`` (the
+# structural identity; see :meth:`Decomposition.cache_key`) instead, with the
+# function object itself as the second component — ``ConstantF``/``AffineF``
+# hash structurally, opaque callables degrade to identity (misses, never
+# false hits).  A ``None`` cache key opts the decomposition out entirely.
+
+_CACHE_MAXSIZE = 1024
+_cache: "OrderedDict[Tuple, OptimizedAccess]" = OrderedDict()
+_cache_lock = threading.Lock()
+_cache_hits = 0
+_cache_misses = 0
+
+
+def table1_cache_info() -> Dict[str, int]:
+    """Hit/miss/size counters for the Table I memo (monitoring/tests)."""
+    with _cache_lock:
+        return {"hits": _cache_hits, "misses": _cache_misses,
+                "size": len(_cache), "maxsize": _CACHE_MAXSIZE}
+
+
+def clear_table1_cache() -> None:
+    """Drop every memoized access and reset the counters."""
+    global _cache_hits, _cache_misses
+    with _cache_lock:
+        _cache.clear()
+        _cache_hits = 0
+        _cache_misses = 0
+
+
+def _build_access(d: Decomposition, f: IFunc, imin: int, imax: int) -> OptimizedAccess:
     if imin > imax:
         rule, fn = "empty", lambda d_, f_, lo, hi, p, w: Enumeration("empty")
         return OptimizedAccess(d, f, imin, imax, rule, fn)
     rule, fn = choose_rule(d, f, imin, imax)
     return OptimizedAccess(d, f, imin, imax, rule, fn)
+
+
+def optimize_access(
+    d: Decomposition, f: IFunc, imin: int, imax: int
+) -> OptimizedAccess:
+    """Compile one access: returns the optimized membership enumerator.
+
+    Results are memoized on ``(d.cache_key(), f, imin, imax)`` — repeated
+    queries for structurally identical (decomposition, access, range)
+    triples are O(1) dict hits.
+    """
+    global _cache_hits, _cache_misses
+    dkey = d.cache_key() if hasattr(d, "cache_key") else None
+    if dkey is None:
+        return _build_access(d, f, imin, imax)
+    try:
+        key = (dkey, f, imin, imax)
+        hash(key)
+    except TypeError:  # unhashable access function: build uncached
+        return _build_access(d, f, imin, imax)
+    with _cache_lock:
+        hit = _cache.get(key)
+        if hit is not None:
+            _cache.move_to_end(key)
+            _cache_hits += 1
+            return hit
+    acc = _build_access(d, f, imin, imax)
+    with _cache_lock:
+        _cache_misses += 1
+        _cache[key] = acc
+        if len(_cache) > _CACHE_MAXSIZE:
+            _cache.popitem(last=False)
+    return acc

@@ -38,6 +38,7 @@ N, P = 24, 4
 PASS_ORDER = [
     "substitute-views",
     "optimize-membership",
+    "split-interior",
     "insert-halo",
     "eliminate-barriers",
     "recognize-reduction",

@@ -120,9 +120,10 @@ class TestVectorMatchesScalar1D:
     def test_distributed_interpreter(self, kind, make):
         plan, env0 = self._plan_env(kind, make)
         a = run_distributed(plan, copy_env(env0)).collect("A")
-        b = run_distributed(plan, copy_env(env0),
-                            backend="vector").collect("A")
-        assert np.array_equal(a, b)
+        for backend in ("vector", "overlap"):
+            b = run_distributed(plan, copy_env(env0),
+                                backend=backend).collect("A")
+            assert np.array_equal(a, b), backend
 
     def test_distributed_vector_batches_messages(self, kind, make):
         plan, env0 = self._plan_env(kind, make)
@@ -138,7 +139,7 @@ class TestVectorMatchesScalar1D:
 
         plan, env0 = self._plan_env(kind, make)
         results = {}
-        for backend in ("scalar", "vector"):
+        for backend in ("scalar", "vector", "overlap"):
             src, factory = compile_distributed(plan, backend=backend)
             m = DistributedMachine(P)
             for name in "ABC":
@@ -146,6 +147,7 @@ class TestVectorMatchesScalar1D:
             m.run(factory)
             results[backend] = m.collect("A")
         assert np.array_equal(results["scalar"], results["vector"])
+        assert np.array_equal(results["scalar"], results["overlap"])
 
     def test_emitted_shared_source(self, kind, make):
         plan, env0 = self._plan_env(kind, make)
@@ -199,6 +201,8 @@ class TestVectorMatchesScalarND:
         mv = run_distributed_nd(plan, copy_env(env0), backend="vector")
         assert np.array_equal(collect_nd(ms, "T"), collect_nd(mv, "T"))
         assert mv.stats.total_messages() < ms.stats.total_messages()
+        mo = run_distributed_nd(plan, copy_env(env0), backend="overlap")
+        assert np.array_equal(collect_nd(ms, "T"), collect_nd(mo, "T"))
 
     def test_distributed_replicated_projected_read(self):
         g = self._grid()
@@ -231,6 +235,75 @@ class TestVectorMatchesScalarND:
         assert np.array_equal(collect_nd(ms, "T"), collect_nd(mv, "T"))
 
 
+class TestOverlapMatchesScalar:
+    """The overlapped executor is bit-identical on the issue's workloads:
+    E13 (block and scatter reads) and the E19 2-D five-point stencil."""
+
+    def _e13(self, read_kind):
+        n, pmax = 64, 8
+        cl = Clause(
+            IndexSet(Bounds((1,), (n - 2,))),
+            Ref("A", SeparableMap([IdentityF()])),
+            Ref("B", SeparableMap([AffineF(1, -1)]))
+            + Ref("B", SeparableMap([AffineF(1, 1)])),
+        )
+        d_b = Block(n, pmax) if read_kind == "block" else Scatter(n, pmax)
+        plan = compile_clause(cl, {"A": Block(n, pmax), "B": d_b})
+        rng = np.random.default_rng(7)
+        env0 = {"A": np.zeros(n), "B": rng.random(n)}
+        return plan, env0
+
+    @pytest.mark.parametrize("read_kind", ["block", "scatter"])
+    def test_e13_bit_identical(self, read_kind):
+        plan, env0 = self._e13(read_kind)
+        ref = run_distributed(plan, copy_env(env0)).collect("A")
+        for backend in ("vector", "overlap"):
+            out = run_distributed(plan, copy_env(env0),
+                                  backend=backend).collect("A")
+            assert np.array_equal(ref, out), backend
+
+    def test_e13_block_has_nonempty_interior(self):
+        plan, _ = self._e13("block")
+        split = plan.ir.interior_split
+        assert split is not None
+        m, i, b = split.totals()
+        assert m == i + b and i > 0 and b > 0
+
+    def test_e13_scatter_interior_is_empty(self):
+        # neighbours of a scattered element live on other nodes: every
+        # write needs a message, so nothing can be computed early
+        plan, _ = self._e13("scatter")
+        split = plan.ir.interior_split
+        assert split is not None
+        assert split.totals()[1] == 0
+
+    def test_e19_grid_bit_identical(self):
+        n, p_side = 12, 2
+
+        def sref(di, dj):
+            fi = AffineF(1, di) if di else IdentityF()
+            fj = AffineF(1, dj) if dj else IdentityF()
+            return Ref("S", SeparableMap([fi, fj]))
+
+        cl = Clause(
+            IndexSet(Bounds((1, 1), (n - 2, n - 2))),
+            Ref("T", SeparableMap([IdentityF(), IdentityF()])),
+            BinOp("*", Const(0.25),
+                  BinOp("+", BinOp("+", sref(-1, 0), sref(1, 0)),
+                        BinOp("+", sref(0, -1), sref(0, 1)))),
+        )
+        g = GridDecomposition([Block(n, p_side), Block(n, p_side)])
+        plan = compile_clause_nd_dist(cl, {"T": g, "S": g})
+        rng = np.random.default_rng(8)
+        env0 = {"S": rng.random((n, n)), "T": np.zeros((n, n))}
+        ref = collect_nd(run_distributed_nd(plan, copy_env(env0)), "T")
+        for backend in ("vector", "overlap"):
+            m = run_distributed_nd(plan, copy_env(env0), backend=backend)
+            assert np.array_equal(ref, collect_nd(m, "T")), backend
+        split = plan.ir.interior_split
+        assert split is not None and split.totals()[1] > 0
+
+
 class TestFallbacks:
     def test_seq_clause_takes_scalar_path(self):
         cl = Clause(
@@ -255,9 +328,10 @@ class TestFallbacks:
         plan = compile_clause(cl, decomps)
         env0 = {"r": np.zeros(N), "B": env1d()["B"]}
         a = run_distributed(plan, copy_env(env0)).collect("r")
-        b = run_distributed(plan, copy_env(env0),
-                            backend="vector").collect("r")
-        assert np.array_equal(a, b)
+        for backend in ("vector", "overlap"):
+            b = run_distributed(plan, copy_env(env0),
+                                backend=backend).collect("r")
+            assert np.array_equal(a, b), backend
 
     def test_min_expression_vectorizes(self):
         cl = Clause(
