@@ -29,6 +29,12 @@ See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
 paper-versus-measured record of every reproduced table and figure.
 """
 
+from .analysis import (
+    Diagnostic,
+    DiagnosticReport,
+    Severity,
+    verify_clause,
+)
 from .baselines import run_distributed_naive, run_shared_naive
 from .codegen import (
     SPMDPlan,
@@ -80,6 +86,7 @@ from .decomp import (
 )
 from .frontend import parse, translate, translate_source
 from .machine import DistributedMachine, MachineStats, SharedMachine
+from .pipeline import clear_plan_cache, plan_cache_info
 from .sets import Work, modify_naive, optimize_access
 
 __version__ = "1.0.0"
@@ -102,6 +109,10 @@ __all__ = [
     "SPMDPlan", "compile_clause", "run_shared", "run_distributed",
     "compile_shared", "compile_distributed",
     "emit_shared_source", "emit_distributed_source", "run_redistribution",
+    # static analysis
+    "Diagnostic", "DiagnosticReport", "Severity", "verify_clause",
+    # plan cache
+    "clear_plan_cache", "plan_cache_info",
     # baselines
     "run_shared_naive", "run_distributed_naive",
     # machines

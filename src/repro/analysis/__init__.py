@@ -1,0 +1,41 @@
+"""Compile-time clause verification (static analysis over the Plan IR).
+
+The paper's central claim — ``Modify_p`` / ``Reside_p`` are closed-form
+sets computable at compile time (§3, Table I) — makes correctness
+questions about generated SPMD programs *decidable* with the same
+segment algebra the compiler already uses:
+
+* :mod:`~repro.analysis.races`  — Bernstein conditions on ``//`` clauses
+* :mod:`~repro.analysis.comm`   — every remote read matched by a send
+* :mod:`~repro.analysis.bounds` — access images inside declared arrays
+* :mod:`~repro.analysis.lint`   — decomposition quality warnings
+
+Findings are :class:`Diagnostic` records with stable codes (catalogued
+in ``docs/analysis.md``), aggregated per clause into a
+:class:`DiagnosticReport`.  The pipeline exposes the verifier as the
+optional ``verify-plan`` pass (``compile_plan(..., verify=True)``), the
+CLI as ``repro check``.
+"""
+
+from .bounds import analyze_bounds
+from .comm import analyze_comm
+from .diagnostics import CODES, Diagnostic, DiagnosticReport, Severity
+from .interference import certified_independent
+from .lint import analyze_lint
+from .races import analyze_races
+from .verifier import annotate_deadlock, verify_clause, verify_ir
+
+__all__ = [
+    "CODES",
+    "Diagnostic",
+    "DiagnosticReport",
+    "Severity",
+    "analyze_races",
+    "analyze_comm",
+    "analyze_bounds",
+    "analyze_lint",
+    "certified_independent",
+    "verify_ir",
+    "verify_clause",
+    "annotate_deadlock",
+]

@@ -6,6 +6,10 @@ Subcommands
 ``layout``   print a Fig. 2-style processor layout for a decomposition.
 ``compile``  translate a mini-language program, pick Table I rules, and
              emit the generated node-program source.
+``check``    run the static clause verifier (races, communication
+             completeness, bounds, decomposition lint) and report
+             diagnostics; exits non-zero on errors (or, with
+             ``--strict``, on warnings).
 ``run``      compile + execute on the simulated distributed machine,
              verify against the sequential evaluator, print statistics.
 ``derive``   print the §2.6-2.7 rewrite chain for the program's clause.
@@ -143,7 +147,64 @@ def cmd_compile(args) -> int:
                 print(emit_distributed_source(plan))
         else:
             print(emit_distributed_source(plan))
+    if getattr(args, "cache_stats", False):
+        from .pipeline import plan_cache_info
+        from .sets.table1 import table1_cache_info
+
+        pc, tc = plan_cache_info(), table1_cache_info()
+        print(f"plan cache:   hits={pc['hits']} misses={pc['misses']} "
+              f"size={pc['size']}/{pc['maxsize']} enabled={pc['enabled']}")
+        print(f"table1 cache: hits={tc['hits']} misses={tc['misses']} "
+              f"size={tc['size']}/{tc['maxsize']}")
     return 0
+
+
+def cmd_check(args) -> int:
+    import json
+
+    from .analysis import CODES, Diagnostic, DiagnosticReport, Severity
+    from .pipeline import compile_plan
+
+    program = _load_program(args)
+    decomps = _decomps(args)
+    clauses = list(program)
+    reports = []
+    for k, clause in enumerate(clauses):
+        successor = clauses[k + 1] if k + 1 < len(clauses) else None
+        try:
+            ir = compile_plan(clause, decomps, successor=successor,
+                              verify=True)
+            reports.append(ir.diagnostics)
+        except (KeyError, ValueError, NotImplementedError) as e:
+            # the clause does not even compile — report that as a
+            # verification failure rather than crashing the checker
+            report = DiagnosticReport(clause=clause.name or "<anonymous>")
+            report.add(Diagnostic(
+                code="CHK001",
+                message=f"clause failed to compile: {e}",
+                severity=Severity.ERROR,
+                hint=CODES["CHK001"],
+            ))
+            reports.append(report.finish())
+    errors = sum(len(r.errors()) for r in reports)
+    warnings = sum(len(r.warnings()) for r in reports)
+    ok = errors == 0 and not (args.strict and warnings)
+    if args.json:
+        print(json.dumps({
+            "clauses": [r.summary() for r in reports],
+            "ok": ok,
+            "errors": errors,
+            "warnings": warnings,
+        }, indent=2))
+    else:
+        for report in reports:
+            print(report.pretty())
+        tail = f"{len(reports)} clause(s): {errors} error(s), " \
+               f"{warnings} warning(s)"
+        if args.strict and warnings and not errors:
+            tail += "  [--strict: warnings are fatal]"
+        print(tail)
+    return 0 if ok else 1
 
 
 def cmd_run(args) -> int:
@@ -235,7 +296,20 @@ def build_parser() -> argparse.ArgumentParser:
     comp.add_argument("--backend", choices=("scalar", "vector", "overlap"),
                       default="scalar",
                       help="flavor of emitted node program")
+    comp.add_argument("--cache-stats", action="store_true",
+                      help="print plan-cache and Table I enumerator-cache "
+                           "hit/miss counters after compiling")
     comp.set_defaults(fn=cmd_compile)
+
+    chk = sub.add_parser(
+        "check", help="statically verify clauses (races, communication, "
+                      "bounds, decomposition lint)")
+    common(chk)
+    chk.add_argument("--strict", action="store_true",
+                     help="treat warnings as fatal (non-zero exit)")
+    chk.add_argument("--json", action="store_true",
+                     help="emit machine-readable diagnostics")
+    chk.set_defaults(fn=cmd_check)
 
     run = sub.add_parser("run", help="execute on the simulated machine")
     common(run)

@@ -76,7 +76,17 @@ def has_cross_processor_overlap(
 ) -> bool:
     """True when, within ONE clause, an element is written by one
     processor and read (or written) by a different one — i.e. the global
-    double-buffer of the unfused template is load-bearing."""
+    double-buffer of the unfused template is load-bearing.
+
+    Fast path: the static analyzer's interference certificate.  A
+    certified clause (non-replicated write, no read of the written
+    array) provably has singleton writer sets and disjoint read/write
+    element keys, so the enumeration below would always return False —
+    skip it."""
+    from ..analysis import certified_independent
+
+    if certified_independent(clause, decomps):
+        return False
     maps = clause_access_maps(clause, decomps)
     for elem, writers in maps.writes.items():
         if len(writers) > 1:

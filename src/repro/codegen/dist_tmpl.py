@@ -36,9 +36,11 @@ from typing import Dict, Generator, List, Optional, Tuple
 
 import numpy as np
 
+from ..analysis import annotate_deadlock
 from ..core.clause import Ordering
 from ..decomp.replicated import Replicated
 from ..machine.distributed import DistributedMachine, NodeContext
+from ..machine.scheduler import DeadlockError
 from ..sets.membership import Work
 from .plan import CompiledRead, SPMDPlan
 
@@ -160,13 +162,16 @@ def run_distributed(
     ir = getattr(plan, "ir", None)
     if backend in ("vector", "overlap") and ir is not None \
             and not plan.write_replicated:
-        if backend == "overlap":
-            from ..machine.vectorize import run_distributed_overlap
+        try:
+            if backend == "overlap":
+                from ..machine.vectorize import run_distributed_overlap
 
-            return run_distributed_overlap(ir, env, machine, model=model)
-        from ..machine.vectorize import run_distributed_vector
+                return run_distributed_overlap(ir, env, machine, model=model)
+            from ..machine.vectorize import run_distributed_vector
 
-        return run_distributed_vector(ir, env, machine, model=model)
+            return run_distributed_vector(ir, env, machine, model=model)
+        except DeadlockError as err:
+            raise annotate_deadlock(err, ir)
     if backend != "scalar":
         trace = getattr(plan, "trace", None)
         if trace is not None:
@@ -182,5 +187,8 @@ def run_distributed(
         for name, arr in env.items():
             if name in all_decomps:
                 machine.place(name, arr, all_decomps[name])
-    machine.run(lambda ctx: make_node_program(plan, ctx))
+    try:
+        machine.run(lambda ctx: make_node_program(plan, ctx))
+    except DeadlockError as err:
+        raise annotate_deadlock(err, ir)
     return machine

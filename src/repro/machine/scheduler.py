@@ -260,9 +260,13 @@ def run_spmd(
                     return ("barrier",)
                 return ("other", repr(r))
 
-            diag = {p: _diag(r) for p, r in waiting.items()}
-            blocked = {p: _blocked(r) for p, r in waiting.items()}
-            undelivered = network.pending_messages()
+            # deterministic report order: blocked nodes ascending,
+            # undelivered messages by (destination, source, tag) — the
+            # static verifier's witnesses follow the same ordering
+            diag = {p: _diag(r) for p, r in sorted(waiting.items())}
+            blocked = {p: _blocked(r) for p, r in sorted(waiting.items())}
+            undelivered = sorted(network.pending_messages(),
+                                 key=lambda m: (m[1], m[0], repr(m[2])))
             raise DeadlockError(
                 f"deadlock after {rounds} rounds; blocked nodes: {diag}; "
                 f"undelivered messages: {network.pending()}"

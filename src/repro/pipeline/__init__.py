@@ -32,6 +32,7 @@ from .passes import (
     RecognizeReduction,
     SplitInterior,
     SubstituteViews,
+    VerifyPlan,
     default_passes,
 )
 from .trace import PassRecord, PipelineTrace
@@ -53,6 +54,7 @@ __all__ = [
     "EliminateBarriers",
     "RecognizeReduction",
     "LicenseDoacross",
+    "VerifyPlan",
     "default_passes",
     "access_spec",
     "compile_plan",
@@ -72,17 +74,23 @@ def compile_plan(
     successor: Optional[Clause] = None,
     require_read_decomps: bool = True,
     passes: Optional[Sequence[Pass]] = None,
+    verify: bool = False,
 ) -> PlanIR:
     """Compile *clause* through the pass pipeline and return the Plan IR.
 
     *successor* enables the `eliminate-barriers` pass to analyse the
     following clause; *require_read_decomps* is relaxed by the nd
     shared-memory path, where reads address global memory directly.
+    *verify* appends the ``verify-plan`` static-analysis pass: the
+    returned IR carries a ``DiagnosticReport`` on ``ir.diagnostics``.
 
     Compilations through the default pass list are memoized in the
     process-global :data:`~repro.pipeline.cache.plan_cache` on a
     structural key; a hit returns a clone whose trace carries
-    ``cache_hit=True``.  Custom *passes* bypass the cache.
+    ``cache_hit=True``.  Custom *passes* bypass the cache.  Verification
+    shares the same key: a verified entry serves unverified lookups (the
+    verdict rides along), and a hit on an unverified entry is verified
+    on demand, with the report attached back to the cached plan.
     """
     key = None
     if passes is None:
@@ -93,6 +101,9 @@ def compile_plan(
         if key is not None:
             hit = plan_cache.lookup(key, clause, decomps, successor)
             if hit is not None:
+                if verify and hit.diagnostics is None:
+                    PassManager([VerifyPlan()]).run(hit)
+                    plan_cache.attach_diagnostics(key, hit.diagnostics)
                 return hit
     ir = PlanIR(
         clause=clause,
@@ -100,7 +111,10 @@ def compile_plan(
         successor=successor,
         require_read_decomps=require_read_decomps,
     )
-    PassManager(passes).run(ir)
+    run_passes = passes
+    if passes is None and verify:
+        run_passes = default_passes(verify=True)
+    PassManager(run_passes).run(ir)
     if key is not None:
         ir.trace.cache_key = key
         plan_cache.store(key, ir)

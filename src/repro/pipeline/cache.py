@@ -195,6 +195,16 @@ class PlanCache:
             while len(self._entries) > self.maxsize:
                 self._entries.popitem(last=False)
 
+    def attach_diagnostics(self, key: tuple, report) -> None:
+        """Attach a verification report to the cached entry for *key*
+        (a hit was verified on demand; future hits reuse the verdict)."""
+        if report is None:
+            return
+        with self._lock:
+            ir = self._entries.get(key)
+            if ir is not None and ir.diagnostics is None:
+                ir.diagnostics = report
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
@@ -231,6 +241,7 @@ def _clone_hit(ir, key: tuple, clause=None, decomps=None, successor=None):
         records=list(ir.trace.records),
         cache_hit=True,
         cache_key=key,
+        diagnostics=ir.diagnostics,
     )
     if clause is None:
         return dataclasses.replace(ir, trace=trace)

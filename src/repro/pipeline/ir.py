@@ -164,6 +164,9 @@ class PlanIR:
     reduction: Optional[object] = None
     doacross_distances: Dict[int, int] = field(default_factory=dict)
     interior_split: Optional[InteriorSplit] = None
+    #: DiagnosticReport of the optional `verify-plan` pass (cached with
+    #: the plan, so cache hits reuse the verdict)
+    diagnostics: Optional[object] = None
 
     trace: PipelineTrace = field(default_factory=PipelineTrace)
 

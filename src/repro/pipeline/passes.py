@@ -22,6 +22,10 @@ one an explicit, introspectable pass over :class:`~repro.pipeline.ir.PlanIR`:
                           complicated orderings": a ``•`` clause whose only
                           loop-carried reads are constant-distance
                           recurrences may run as a paced DOACROSS.
+``verify-plan``           (optional, ``compile_plan(..., verify=True)``)
+                          the :mod:`repro.analysis` static verifier:
+                          races, communication completeness, bounds and
+                          decomposition lint over the Table I segments.
 
 Passes only *record* facts on the IR; projections to the legacy plan
 dataclasses and the machine templates consume them.  Passes import
@@ -51,6 +55,7 @@ __all__ = [
     "EliminateBarriers",
     "RecognizeReduction",
     "LicenseDoacross",
+    "VerifyPlan",
     "default_passes",
 ]
 
@@ -390,9 +395,31 @@ class LicenseDoacross(Pass):
         return 1, [f"doacross licensed with distances {distances}"]
 
 
-def default_passes() -> List[Pass]:
-    """The standard pipeline, in order."""
-    return [
+class VerifyPlan(Pass):
+    """The optional static verifier (:mod:`repro.analysis`): Bernstein
+    races, communication completeness, bounds, and decomposition lint —
+    all closed-form over the Table I segments, §3's decidability claim
+    turned into diagnostics.  Findings land on ``ir.diagnostics`` and on
+    the trace (``compile --explain`` shows them; ``repro check`` prints
+    them)."""
+
+    name = "verify-plan"
+    paper = "§3 (membership sets decidable at compile time)"
+
+    def run(self, ir: PlanIR) -> PassResult:
+        from ..analysis import verify_ir
+
+        report = verify_ir(ir)
+        if not report.diagnostics:
+            return 0, ["clause verified: no findings"]
+        return (len(report.diagnostics),
+                [d.headline() for d in report.diagnostics])
+
+
+def default_passes(verify: bool = False) -> List[Pass]:
+    """The standard pipeline, in order.  *verify* appends the optional
+    ``verify-plan`` static-analysis pass."""
+    passes: List[Pass] = [
         SubstituteViews(),
         OptimizeMembership(),
         SplitInterior(),
@@ -401,3 +428,6 @@ def default_passes() -> List[Pass]:
         RecognizeReduction(),
         LicenseDoacross(),
     ]
+    if verify:
+        passes.append(VerifyPlan())
+    return passes

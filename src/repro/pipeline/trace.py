@@ -49,6 +49,8 @@ class PipelineTrace:
     cache_hit: bool = False
     #: the structural plan-cache key, when one could be built
     cache_key: Optional[tuple] = None
+    #: the static verifier's DiagnosticReport, when `verify-plan` ran
+    diagnostics: Optional[object] = None
 
     def add(self, record: PassRecord) -> PassRecord:
         self.records.append(record)
@@ -93,6 +95,9 @@ class PipelineTrace:
                     lines.append(f"       | {ln}")
         for note in self.notes:
             lines.append(f"  note: {note}")
+        if self.diagnostics is not None:
+            for ln in self.diagnostics.pretty().splitlines():
+                lines.append(f"  {ln}")
         return "\n".join(lines)
 
     def summary(self) -> Dict[str, object]:
@@ -113,4 +118,6 @@ class PipelineTrace:
             "total_ms": self.total_ms(),
             "notes": list(self.notes),
             "cache_hit": self.cache_hit,
+            "diagnostics": (self.diagnostics.summary()
+                            if self.diagnostics is not None else None),
         }

@@ -14,6 +14,7 @@ from .enumerators import (
     enum_scatter_on_k,
     enum_trivial,
     intersect_segments,
+    segment_elements,
     segments_from_indices,
 )
 from .membership import Work, all_naive, modify_naive, reside_naive
@@ -47,6 +48,7 @@ __all__ = [
     "segments_from_indices",
     "intersect_segments",
     "difference_segments",
+    "segment_elements",
     "table1_cache_info",
     "clear_table1_cache",
 ]

@@ -34,6 +34,7 @@ __all__ = [
     "segments_from_indices",
     "intersect_segments",
     "difference_segments",
+    "segment_elements",
     "enum_constant",
     "enum_block",
     "enum_repeated_block",
@@ -253,6 +254,19 @@ def difference_segments(a: List[Segment], b: List[Segment]) -> List[Segment]:
     va = np.unique(np.concatenate([s.index_array() for s in a]))
     vb = np.unique(np.concatenate([s.index_array() for s in b]))
     return segments_from_indices(np.setdiff1d(va, vb, assume_unique=True))
+
+
+def segment_elements(segments: List[Segment], cap: int) -> List[int]:
+    """Up to *cap* members of a sorted disjoint segment list, in order —
+    for sampling witnesses without materializing a large set (used by
+    the static verifier in :mod:`repro.analysis`)."""
+    out: List[int] = []
+    for seg in segments:
+        for i in seg.indices():
+            out.append(i)
+            if len(out) >= cap:
+                return out
+    return out
 
 
 # ---------------------------------------------------------------------------

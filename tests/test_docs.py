@@ -16,7 +16,8 @@ def _blocks(path: pathlib.Path):
     return _BLOCK.findall(path.read_text())
 
 
-@pytest.mark.parametrize("doc", ["vcal.md", "decompositions.md"])
+@pytest.mark.parametrize("doc", ["vcal.md", "decompositions.md",
+                                 "analysis.md"])
 def test_doc_snippets_execute(doc):
     ns = {}
     for block in _blocks(DOCS / doc):
@@ -24,8 +25,25 @@ def test_doc_snippets_execute(doc):
 
 
 def test_docs_exist():
-    for doc in ("vcal.md", "decompositions.md", "generation.md"):
+    for doc in ("vcal.md", "decompositions.md", "generation.md",
+                "analysis.md"):
         assert (DOCS / doc).exists()
+
+
+def test_analysis_doc_covers_every_code():
+    from repro.analysis import CODES
+
+    text = (DOCS / "analysis.md").read_text()
+    for code in CODES:
+        assert code in text, f"docs/analysis.md misses {code}"
+
+
+def test_example_program_specs_pair_up():
+    programs = ROOT / "examples" / "programs"
+    pals = sorted(programs.glob("*.pal"))
+    assert pals, "examples/programs/ has no .pal programs"
+    for pal in pals:
+        assert pal.with_suffix(".spec").exists(), pal.name
 
 
 def test_generation_doc_mentions_real_modules():

@@ -22,6 +22,7 @@ def test_all_names_resolve():
     "repro.core", "repro.decomp", "repro.sets", "repro.codegen",
     "repro.machine", "repro.frontend", "repro.diophantine",
     "repro.baselines", "repro.report", "repro.cli",
+    "repro.analysis", "repro.pipeline",
 ])
 def test_submodule_all_resolves(module):
     mod = importlib.import_module(module)
@@ -47,3 +48,25 @@ def test_key_entry_points_importable():
         compile_reduce,
         run_program_shared,
     )
+
+
+def test_plan_cache_controls_exported():
+    from repro import clear_plan_cache, plan_cache_info
+
+    clear_plan_cache()
+    info = plan_cache_info()
+    assert info["hits"] == 0 and info["misses"] == 0 and info["size"] == 0
+    assert {"hits", "misses", "size", "maxsize", "enabled"} <= set(info)
+
+
+def test_analysis_exports():
+    from repro import Diagnostic, DiagnosticReport, Severity, verify_clause
+    from repro.analysis import CODES
+
+    assert callable(verify_clause)
+    assert Severity.ERROR.value == "error"
+    d = Diagnostic(code="RACE001", message="x")
+    report = DiagnosticReport(clause="c")
+    report.add(d)
+    assert not report.ok and report.has("RACE001")
+    assert set(CODES) >= {"RACE001", "COMM001", "BND001", "LINT001"}
