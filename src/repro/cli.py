@@ -135,8 +135,22 @@ def cmd_compile(args) -> int:
         if getattr(args, "explain", False) and plan.trace is not None:
             print()
             print(plan.trace.pretty(verbose=args.verbose))
-        print()
         backend = getattr(args, "backend", "scalar")
+        kernels = getattr(getattr(plan, "ir", None), "kernels", None)
+        if backend == "fused" and getattr(args, "explain", False):
+            print()
+            if kernels is not None:
+                print(f"# fused kernels — {kernels.describe()}")
+                print(kernels.source)
+            else:
+                print("# no fused kernels on this plan")
+        print()
+        if backend == "fused":
+            if kernels is not None and kernels.dist is not None:
+                print("# fused backend: compile-once node kernels "
+                      "(see --explain for the generated source);")
+                print("# equivalent vector-form node program:")
+            backend = "vector"
         if backend in ("vector", "overlap"):
             from .codegen.pysource import CodegenError
 
@@ -148,15 +162,23 @@ def cmd_compile(args) -> int:
         else:
             print(emit_distributed_source(plan))
     if getattr(args, "cache_stats", False):
-        from .pipeline import plan_cache_info
-        from .sets.table1 import table1_cache_info
-
-        pc, tc = plan_cache_info(), table1_cache_info()
-        print(f"plan cache:   hits={pc['hits']} misses={pc['misses']} "
-              f"size={pc['size']}/{pc['maxsize']} enabled={pc['enabled']}")
-        print(f"table1 cache: hits={tc['hits']} misses={tc['misses']} "
-              f"size={tc['size']}/{tc['maxsize']}")
+        print_cache_stats()
     return 0
+
+
+def print_cache_stats() -> None:
+    """One unified block: plan, Table I enumerator, and kernel caches."""
+    from .pipeline import kernel_cache_info, plan_cache_info
+    from .sets.table1 import table1_cache_info
+
+    pc, tc, kc = plan_cache_info(), table1_cache_info(), kernel_cache_info()
+    print("caches:")
+    print(f"  plan:   hits={pc['hits']} misses={pc['misses']} "
+          f"size={pc['size']}/{pc['maxsize']} enabled={pc['enabled']}")
+    print(f"  table1: hits={tc['hits']} misses={tc['misses']} "
+          f"size={tc['size']}/{tc['maxsize']}")
+    print(f"  kernel: hits={kc['hits']} misses={kc['misses']} "
+          f"size={kc['size']}/{kc['maxsize']} enabled={kc['enabled']}")
 
 
 def cmd_check(args) -> int:
@@ -208,15 +230,23 @@ def cmd_check(args) -> int:
 
 
 def cmd_run(args) -> int:
+    from .machine.fused import FusedStrictError
+
     program = _load_program(args)
     decomps = _decomps(args)
     env0 = _random_env(decomps, args.seed)
     ref = evaluate_program(program, copy_env(env0))
+    strict = getattr(args, "strict", False)
     if args.shared:
         from .codegen.barriers import run_program_shared
 
-        machine, barriers = run_program_shared(program, decomps, env0,
-                                               backend=args.backend)
+        try:
+            machine, barriers = run_program_shared(program, decomps, env0,
+                                                   backend=args.backend,
+                                                   strict=strict)
+        except FusedStrictError as e:
+            print(f"error: {e}", file=sys.stderr)
+            return 2
         ok = True
         for name in {c.lhs.name for c in program}:
             good = np.allclose(machine.env[name], ref[name])
@@ -229,7 +259,12 @@ def cmd_run(args) -> int:
     ok = True
     for clause in program:
         plan = compile_clause(clause, decomps)
-        machine = run_distributed(plan, env0, backend=args.backend)
+        try:
+            machine = run_distributed(plan, env0, backend=args.backend,
+                                      strict=strict)
+        except FusedStrictError as e:
+            print(f"error: clause {clause.name}: {e}", file=sys.stderr)
+            return 2
         result = machine.collect(plan.write_name)
         env0[plan.write_name] = result  # thread state between clauses
         good = np.allclose(result, ref[plan.write_name])
@@ -293,12 +328,15 @@ def build_parser() -> argparse.ArgumentParser:
     comp.add_argument("--verbose", action="store_true",
                       help="with --explain: include before/after IR "
                            "snapshots per pass")
-    comp.add_argument("--backend", choices=("scalar", "vector", "overlap"),
+    comp.add_argument("--backend",
+                      choices=("scalar", "vector", "overlap", "fused"),
                       default="scalar",
-                      help="flavor of emitted node program")
+                      help="flavor of emitted node program (fused shows "
+                           "the compile-once kernel source with --explain)")
     comp.add_argument("--cache-stats", action="store_true",
-                      help="print plan-cache and Table I enumerator-cache "
-                           "hit/miss counters after compiling")
+                      help="print one unified block of plan-, Table I "
+                           "enumerator-, and kernel-cache hit/miss "
+                           "counters after compiling")
     comp.set_defaults(fn=cmd_compile)
 
     chk = sub.add_parser(
@@ -318,11 +356,16 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--shared", action="store_true",
                      help="run on the shared-memory machine with barrier "
                           "elimination (whole program, fused phases)")
-    run.add_argument("--backend", choices=("scalar", "vector", "overlap"),
+    run.add_argument("--backend",
+                     choices=("scalar", "vector", "overlap", "fused"),
                      default="scalar",
                      help="scalar per-element templates, the NumPy "
-                          "vectorized segment executor, or the overlapped "
-                          "interior/boundary executor")
+                          "vectorized segment executor, the overlapped "
+                          "interior/boundary executor, or the compile-once "
+                          "fused kernel executor")
+    run.add_argument("--strict", action="store_true",
+                     help="with --backend fused: refuse to execute clauses "
+                          "the static verifier flagged RACE*/COMM*")
     run.set_defaults(fn=cmd_run)
 
     der = sub.add_parser("derive", help="print the §2.6 rewrite chain")

@@ -152,6 +152,7 @@ def run_program_shared(
     env: Dict[str, np.ndarray],
     eliminate_barriers: bool = True,
     backend: str = "scalar",
+    strict: bool = False,
 ) -> Tuple[SharedMachine, int]:
     """Execute a multi-clause program on the shared-memory machine.
 
@@ -161,11 +162,12 @@ def run_program_shared(
     processor across (or within) the fused phases.  Returns the machine
     and the number of barriers actually executed.
 
-    ``backend="vector"`` applies to unfused ``//`` phases; fused runs
+    ``backend="vector"`` (or ``"fused"``, the compile-once kernel
+    executor) applies to unfused ``//`` phases; fused *barrier* runs
     keep the scalar walk (their legality proof is about the interleaved
     per-node commit order, which batching would reorder).
     """
-    if backend not in ("scalar", "vector"):
+    if backend not in ("scalar", "vector", "fused"):
         raise ValueError(f"unknown backend {backend!r}")
     pmax = max(d.pmax for d in decomps.values())
     machine = SharedMachine(pmax, env)
@@ -194,7 +196,8 @@ def run_program_shared(
         if len(group) == 1:
             from .shared_tmpl import run_shared
 
-            run_shared(plans[0], machine.env, machine, backend=backend)
+            run_shared(plans[0], machine.env, machine, backend=backend,
+                       strict=strict)
             barriers += 1
             continue
         # fused execution: node-major, per-clause per-node buffering

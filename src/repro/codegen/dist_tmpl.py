@@ -139,6 +139,7 @@ def run_distributed(
     decomps: Optional[Dict[str, object]] = None,
     backend: str = "scalar",
     model=None,
+    strict: bool = False,
 ) -> DistributedMachine:
     """Place *env* on a distributed machine, run the clause, return the
     machine (use ``machine.collect(name)`` for the post-state).
@@ -148,11 +149,17 @@ def run_distributed(
     (read, peer) pair and executes each phase as NumPy array operations;
     ``backend="overlap"`` additionally computes the interior of
     ``Modify_p`` while messages are in flight (non-blocking receives);
-    replicated writes (a per-copy broadcast) keep the scalar path.
-    *model* is an optional :class:`~repro.machine.channels.LatencyModel`
-    attached to a newly created machine (virtual-time accounting only).
+    ``backend="fused"`` runs the compile-once node kernels attached by
+    the `lower-kernels` pass — precomputed flat gather/scatter index
+    arrays and a generated fused expression, with the interior kernel
+    overlapping communication — falling back to the vector path (trace
+    note) when the plan has no fused form.  Replicated writes (a
+    per-copy broadcast) keep the scalar path.  *model* is an optional
+    :class:`~repro.machine.channels.LatencyModel` attached to a newly
+    created machine (virtual-time accounting only).  *strict* makes a
+    fused run refuse clauses the static verifier flagged RACE*/COMM*.
     """
-    if backend not in ("scalar", "vector", "overlap"):
+    if backend not in ("scalar", "vector", "overlap", "fused"):
         raise ValueError(f"unknown backend {backend!r}")
     if plan.clause.ordering is Ordering.SEQ:
         raise NotImplementedError(
@@ -160,6 +167,26 @@ def run_distributed(
             "is not generated; use the shared-memory template for • clauses"
         )
     ir = getattr(plan, "ir", None)
+    if backend == "fused" and ir is not None and not plan.write_replicated:
+        kernels = getattr(ir, "kernels", None)
+        if kernels is not None and kernels.dist is not None:
+            from ..machine.fused import run_distributed_fused
+
+            try:
+                return run_distributed_fused(ir, env, machine, model=model,
+                                             strict=strict)
+            except DeadlockError as err:
+                raise annotate_deadlock(err, ir)
+        if strict:
+            from ..machine.fused import check_strict
+
+            check_strict(ir, True)
+        trace = getattr(plan, "trace", None)
+        if trace is not None:
+            why = (kernels.dist_note if kernels is not None
+                   else "no fused kernels on the plan")
+            trace.note(f"backend='fused' fell back to the vector path: {why}")
+        backend = "vector"
     if backend in ("vector", "overlap") and ir is not None \
             and not plan.write_replicated:
         try:

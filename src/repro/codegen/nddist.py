@@ -233,6 +233,7 @@ def run_distributed_nd(
     machine: Optional[DistributedMachine] = None,
     backend: str = "scalar",
     model=None,
+    strict: bool = False,
 ) -> DistributedMachine:
     """Place *env* (grid decompositions get nd-local layouts), run the
     clause, return the machine; use :func:`collect_nd` for grid arrays.
@@ -241,11 +242,33 @@ def run_distributed_nd(
     value-vector message and evaluates the clause body as NumPy array
     operations over the factorized membership products;
     ``backend="overlap"`` additionally computes the interior of
-    ``Modify_p`` while messages are in flight.  *model* is an optional
+    ``Modify_p`` while messages are in flight; ``backend="fused"`` runs
+    the compile-once node kernels of the `lower-kernels` pass (grid
+    local buffers addressed through precomputed raveled index arrays),
+    falling back to the vector path with a trace note when the plan has
+    no fused form.  *model* is an optional
     :class:`~repro.machine.channels.LatencyModel` for a new machine.
+    *strict* makes a fused run refuse RACE*/COMM*-flagged clauses.
     """
-    if backend not in ("scalar", "vector", "overlap"):
+    if backend not in ("scalar", "vector", "overlap", "fused"):
         raise ValueError(f"unknown backend {backend!r}")
+    if backend == "fused" and plan.ir is not None:
+        kernels = getattr(plan.ir, "kernels", None)
+        if kernels is not None and kernels.dist is not None:
+            from ..machine.fused import run_distributed_fused
+
+            return run_distributed_fused(plan.ir, env, machine, model=model,
+                                         strict=strict)
+        if strict:
+            from ..machine.fused import check_strict
+
+            check_strict(plan.ir, True)
+        trace = getattr(plan, "trace", None)
+        if trace is not None:
+            why = (kernels.dist_note if kernels is not None
+                   else "no fused kernels on the plan")
+            trace.note(f"backend='fused' fell back to the vector path: {why}")
+        backend = "vector"
     if backend == "overlap" and plan.ir is not None:
         from ..machine.vectorize import run_distributed_overlap
 

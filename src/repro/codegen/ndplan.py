@@ -122,13 +122,32 @@ def run_shared_nd(
     """Execute on the shared-memory machine (direct global addressing).
 
     ``backend="vector"`` runs ``//`` clauses through the NumPy segment
-    executor; • clauses (a serial chain) always take the scalar path.
+    executor; ``backend="fused"`` runs the compile-once node kernels
+    (falling back to the vector executor when the plan has none);
+    • clauses (a serial chain) always take the scalar path.
     """
-    if backend not in ("scalar", "vector"):
+    if backend not in ("scalar", "vector", "fused"):
         raise ValueError(f"unknown backend {backend!r}")
     clause = plan.clause
     if machine is None:
         machine = SharedMachine(plan.pmax, env)
+
+    if backend == "fused":
+        kernels = getattr(plan.ir, "kernels", None) \
+            if plan.ir is not None else None
+        if (kernels is not None and kernels.shared is not None
+                and clause.ordering is Ordering.PAR):
+            from ..machine.fused import run_shared_fused
+
+            return run_shared_fused(plan.ir, env, machine)
+        trace = getattr(plan, "trace", None)
+        if trace is not None:
+            why = ("sequential (•) clause is a serial chain"
+                   if clause.ordering is Ordering.SEQ else
+                   kernels.shared_note if kernels is not None else
+                   "no fused kernels on the plan")
+            trace.note(f"backend='fused' fell back to the vector path: {why}")
+        backend = "vector"
 
     if (backend == "vector" and clause.ordering is Ordering.PAR
             and plan.ir is not None):

@@ -52,6 +52,7 @@ def run_shared(
     env: Dict[str, np.ndarray],
     machine: Optional[SharedMachine] = None,
     backend: str = "scalar",
+    strict: bool = False,
 ) -> SharedMachine:
     """Execute one clause on a shared-memory machine; returns the machine
     (its ``env`` holds the post-state, its ``stats`` the counters).
@@ -61,9 +62,13 @@ def run_shared(
     serial chain and always take the scalar path — recorded as a trace
     note, see ``compile --explain``).  ``backend="overlap"`` has no
     shared-memory meaning (there is no communication to hide) and runs
-    as the vector backend, also noted on the trace.
+    as the vector backend, also noted on the trace.  ``backend="fused"``
+    runs the compile-once node kernels attached by the `lower-kernels`
+    pass (falling back to the vector path, with a trace note, when the
+    plan has no fused form); *strict* makes a fused run refuse clauses
+    the static verifier flagged RACE*/COMM*.
     """
-    if backend not in ("scalar", "vector", "overlap"):
+    if backend not in ("scalar", "vector", "overlap", "fused"):
         raise ValueError(f"unknown backend {backend!r}")
     if machine is None:
         machine = SharedMachine(plan.pmax, env)
@@ -72,6 +77,29 @@ def run_shared(
         if trace is not None:
             trace.note("backend='overlap' on shared memory: no messages "
                        "to overlap; running the vector backend")
+        backend = "vector"
+    if backend == "fused":
+        ir = getattr(plan, "ir", None)
+        kernels = getattr(ir, "kernels", None) if ir is not None else None
+        if (ir is not None and kernels is not None
+                and kernels.shared is not None
+                and plan.clause.ordering is Ordering.PAR):
+            from ..machine.fused import run_shared_fused
+
+            return run_shared_fused(ir, env, machine, strict=strict)
+        if strict and ir is not None \
+                and plan.clause.ordering is Ordering.PAR:
+            from ..machine.fused import check_strict
+
+            check_strict(ir, True)
+        trace = getattr(plan, "trace", None)
+        if trace is not None:
+            why = ("plan carries no IR" if ir is None else
+                   kernels.shared_note if kernels is not None else
+                   "no fused kernels on the plan")
+            if plan.clause.ordering is Ordering.SEQ:
+                why = "sequential (•) clause is a serial chain"
+            trace.note(f"backend='fused' fell back to the vector path: {why}")
         backend = "vector"
     if plan.clause.ordering is Ordering.SEQ:
         if backend == "vector":

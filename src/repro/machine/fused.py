@@ -1,0 +1,235 @@
+"""Fused-kernel executors (``backend="fused"``).
+
+Where the vector backend interprets each run — re-deriving membership
+vectors, applying placement arithmetic and tree-walking the clause body
+— these executors run the **compile-once** kernels built by the
+`lower-kernels` pass (:mod:`repro.pipeline.kernels`): every index and
+gather/scatter array is precomputed, local memory is addressed through
+flat ndarray views with static index arrays, and the clause body is one
+generated NumPy expression.
+
+The distributed program keeps the overlap schedule: post sends, post
+non-blocking receives, run the fused *interior* kernel while messages
+are in flight, drain with Probe, then run the fused *boundary* kernel.
+A plan compiled without an interior split simply has an empty interior
+and degrades to drain-then-compute — still fused, still bit-identical.
+
+Statistics (iterations, messages, elements moved, local updates) match
+the vector backend counter-for-counter, which is what the equivalence
+property tests assert.
+
+``strict=True`` composes the static verifier with execution: a clause
+whose ``verify-plan`` report carries any RACE* or COMM* finding refuses
+fused execution with the diagnostic code in the error message.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.clause import Ordering
+from .distributed import DistributedMachine, NodeContext
+from .shared import SharedMachine
+from .vectorize import _as_value_vec, _place_env
+
+__all__ = [
+    "FusedStrictError",
+    "check_strict",
+    "run_shared_fused",
+    "make_fused_node_program",
+    "run_distributed_fused",
+]
+
+
+class FusedStrictError(RuntimeError):
+    """Fused execution refused under ``strict``: the static verifier
+    flagged the clause (the first offending code is in the message)."""
+
+
+def check_strict(ir, strict: bool) -> None:
+    """Refuse fused execution of statically-flagged clauses.
+
+    With *strict*, a ``verify-plan`` report (run on demand if the plan
+    was compiled without ``verify=True``) carrying any RACE* or COMM*
+    diagnostic aborts before any node program runs."""
+    if not strict:
+        return
+    report = ir.diagnostics
+    if report is None:
+        from ..analysis import verify_ir
+
+        report = verify_ir(ir)
+        ir.diagnostics = report
+    offending = [d for d in report.diagnostics
+                 if d.code.startswith(("RACE", "COMM"))]
+    if offending:
+        codes = ", ".join(sorted({d.code for d in offending}))
+        raise FusedStrictError(
+            f"fused execution refused under --strict: static verifier "
+            f"flagged {codes} ({offending[0].message})"
+        )
+
+
+def _kernels_for(ir, flavor: str):
+    """The built kernels of one flavor, or ``(None, reason)``."""
+    k = getattr(ir, "kernels", None)
+    if k is None:
+        return None, "plan carries no fused kernels (lower-kernels fallback)"
+    nodes = k.shared if flavor == "shared" else k.dist
+    if nodes is None:
+        note = k.shared_note if flavor == "shared" else k.dist_note
+        return None, note or "no kernels for this flavor"
+    return k, None
+
+
+# ---------------------------------------------------------------------------
+# shared-memory fused executor
+# ---------------------------------------------------------------------------
+
+def run_shared_fused(
+    ir,
+    env: Dict[str, np.ndarray],
+    machine: Optional[SharedMachine] = None,
+    strict: bool = False,
+) -> SharedMachine:
+    """Execute a ``//`` clause with the precompiled shared kernels: one
+    precomputed fancy-indexed gather per read, one fused expression, one
+    fancy-indexed commit per node — semantics identical to the vector
+    executor (all phases read pre-state, commits in node order)."""
+    if ir.clause.ordering is not Ordering.PAR:
+        raise ValueError("the fused executor handles // clauses")
+    check_strict(ir, strict)
+    k, why = _kernels_for(ir, "shared")
+    if k is None:
+        raise ValueError(f"no shared fused kernels: {why}")
+    if machine is None:
+        machine = SharedMachine(ir.pmax, env)
+    genv = machine.env
+
+    pending = []
+    for p, nk in enumerate(k.shared):
+        machine.stats[p].iterations += nk.n
+        if nk.n == 0:
+            pending.append((p, None, None, None))
+            continue
+        rvals = [genv[name][key] for name, key in nk.read_keys]
+        mask = None
+        if k.guard is not None:
+            mask = np.broadcast_to(np.asarray(
+                k.guard(nk.idx, rvals), dtype=bool), (nk.n,))
+        values = _as_value_vec(k.rhs(nk.idx, rvals), nk.n)
+        pending.append((p, nk.write_key_vecs, values, mask))
+
+    target = genv[k.write_name]
+    for p, w_ai, values, mask in pending:
+        machine.stats[p].barriers += 1
+        if w_ai is None:
+            continue
+        if mask is not None:
+            w_ai = tuple(a[mask] for a in w_ai)
+            values = values[mask]
+        target[w_ai if len(w_ai) > 1 else w_ai[0]] = values
+        machine.stats[p].local_updates += int(values.size)
+    return machine
+
+
+# ---------------------------------------------------------------------------
+# distributed fused executor (overlap schedule, precompiled kernels)
+# ---------------------------------------------------------------------------
+
+def make_fused_node_program(ir, ctx: NodeContext):
+    """Node program driven entirely by precomputed index arrays: flat
+    gathers feed the sends, non-blocking receives fill precomputed lane
+    positions, and the fused interior kernel runs while messages are in
+    flight."""
+    k = ir.kernels
+    nk = k.dist[ctx.p]
+
+    def program():
+        # ---- send phase: one flat gather + one message per peer ----------
+        for s in nk.sends:
+            ctx.stats.iterations += s.count
+            buf = ctx.mem[s.name].ravel()
+            for q, gidx in s.peers:
+                ctx.send(q, ("fus", s.pos), buf[gidx])
+
+        # ---- update phase -------------------------------------------------
+        n = nk.n
+        ctx.stats.iterations += n
+        if n:
+            rvals: List[Optional[np.ndarray]] = [None] * k.nreads
+            pending = []  # (handle, value vector, lane positions to fill)
+            for r in nk.reads:
+                if r.replicated:
+                    rvals[r.pos] = np.asarray(
+                        ctx.mem[r.name].ravel()[r.rep_gather],
+                        dtype=np.float64)
+                    continue
+                vals = np.empty(n, dtype=np.float64)
+                if r.local_pos.size:
+                    vals[r.local_pos] = \
+                        ctx.mem[r.name].ravel()[r.local_gather]
+                for src, fill in r.sources:
+                    handle = yield ctx.irecv(src, ("fus", r.pos))
+                    pending.append((handle, vals, fill))
+                rvals[r.pos] = vals
+
+            wbuf = ctx.mem[k.write_name].ravel()
+
+            def commit(lanes, sub_idx, scatter):
+                m = int(lanes.size)
+                if not m:
+                    return
+                sub_r = [v[lanes] for v in rvals]
+                values = _as_value_vec(k.rhs(sub_idx, sub_r), m)
+                if k.guard is not None:
+                    mask = np.broadcast_to(np.asarray(
+                        k.guard(sub_idx, sub_r), dtype=bool), (m,))
+                    scatter = scatter[mask]
+                    values = values[mask]
+                wbuf[scatter] = values
+                ctx.stats.local_updates += int(values.size)
+
+            # fused interior kernel while messages are in flight
+            ctx.charge_elements(int(nk.interior.size))
+            commit(nk.interior, nk.idx_interior, nk.scatter_interior)
+
+            while pending:
+                done = yield ctx.probe([h for h, _, _ in pending])
+                i = next(j for j, (h, _, _) in enumerate(pending)
+                         if h is done)
+                _, vals, fill = pending.pop(i)
+                vals[fill] = np.asarray(
+                    ctx.note_received(done.payload), dtype=np.float64)
+
+            ctx.charge_elements(int(nk.boundary.size))
+            commit(nk.boundary, nk.idx_boundary, nk.scatter_boundary)
+
+        yield ctx.barrier()
+
+    return program()
+
+
+def run_distributed_fused(
+    ir,
+    env: Dict[str, np.ndarray],
+    machine: Optional[DistributedMachine] = None,
+    model=None,
+    strict: bool = False,
+) -> DistributedMachine:
+    """Place *env*, run the fused node programs, return the machine."""
+    if ir.clause.ordering is not Ordering.PAR:
+        raise ValueError("the fused executor handles // clauses")
+    if ir.write.replicated:
+        raise ValueError("replicated writes keep the scalar path")
+    check_strict(ir, strict)
+    k, why = _kernels_for(ir, "dist")
+    if k is None:
+        raise ValueError(f"no distributed fused kernels: {why}")
+    if machine is None:
+        machine = DistributedMachine(ir.pmax, model=model)
+        _place_env(ir, env, machine)
+    machine.run(lambda ctx: make_fused_node_program(ir, ctx))
+    return machine

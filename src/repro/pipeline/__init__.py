@@ -22,11 +22,19 @@ from .cache import (
     plan_key,
 )
 from .ir import AccessIR, AxisAccess, InteriorSplit, NodeSplit, PlanIR, access_spec
+from .kernels import (
+    FusedKernels,
+    KernelCache,
+    clear_kernel_cache,
+    kernel_cache,
+    kernel_cache_info,
+)
 from .manager import PassManager
 from .passes import (
     EliminateBarriers,
     InsertHalo,
     LicenseDoacross,
+    LowerKernels,
     OptimizeMembership,
     Pass,
     RecognizeReduction,
@@ -55,6 +63,7 @@ __all__ = [
     "RecognizeReduction",
     "LicenseDoacross",
     "VerifyPlan",
+    "LowerKernels",
     "default_passes",
     "access_spec",
     "compile_plan",
@@ -64,6 +73,11 @@ __all__ = [
     "enable_plan_cache",
     "plan_cache_info",
     "clear_plan_cache",
+    "FusedKernels",
+    "KernelCache",
+    "kernel_cache",
+    "kernel_cache_info",
+    "clear_kernel_cache",
 ]
 
 

@@ -270,8 +270,14 @@ plan_cache = PlanCache()
 
 
 def enable_plan_cache(on: bool = True) -> None:
-    """Turn the global plan cache on/off (CLI ``--no-plan-cache``)."""
+    """Turn the global plan cache on/off (CLI ``--no-plan-cache``).
+
+    The fused-kernel cache rides along: disabling the plan cache means
+    "recompile everything", and kernels are part of the compile."""
     plan_cache.enabled = bool(on)
+    from .kernels import kernel_cache
+
+    kernel_cache.enabled = bool(on)
 
 
 def plan_cache_info() -> Dict[str, object]:
@@ -279,4 +285,9 @@ def plan_cache_info() -> Dict[str, object]:
 
 
 def clear_plan_cache() -> None:
+    """Drop every cached plan *and* the fused kernels attached to them —
+    a stale kernel must never run against a re-anchored plan."""
     plan_cache.clear()
+    from .kernels import kernel_cache
+
+    kernel_cache.clear()

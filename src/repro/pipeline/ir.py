@@ -167,6 +167,10 @@ class PlanIR:
     #: DiagnosticReport of the optional `verify-plan` pass (cached with
     #: the plan, so cache hits reuse the verdict)
     diagnostics: Optional[object] = None
+    #: FusedKernels attached by the `lower-kernels` pass (compile-once
+    #: node kernels for ``backend="fused"``; None when no fused form
+    #: exists — the executors fall back to the vector path)
+    kernels: Optional[object] = None
 
     trace: PipelineTrace = field(default_factory=PipelineTrace)
 

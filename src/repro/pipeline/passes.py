@@ -56,6 +56,7 @@ __all__ = [
     "RecognizeReduction",
     "LicenseDoacross",
     "VerifyPlan",
+    "LowerKernels",
     "default_passes",
 ]
 
@@ -416,9 +417,28 @@ class VerifyPlan(Pass):
                 [d.headline() for d in report.diagnostics])
 
 
+class LowerKernels(Pass):
+    """Lower the plan to compile-once fused node kernels (§4's generated
+    programs, specialized all the way): the clause body becomes one
+    generated NumPy expression, membership/placement arithmetic is
+    evaluated now into flat gather/scatter index arrays, and the result
+    is attached to ``ir.kernels`` for ``backend="fused"``.  Plans with
+    no fused form (sequential clauses, irregular layouts) keep the
+    vector path; the reason lands on the trace."""
+
+    name = "lower-kernels"
+    paper = "§4 (compile-time specialization of generated programs)"
+
+    def run(self, ir: PlanIR) -> PassResult:
+        from .kernels import attach_kernels
+
+        notes = attach_kernels(ir)
+        return (1 if ir.kernels is not None else 0), notes
+
+
 def default_passes(verify: bool = False) -> List[Pass]:
-    """The standard pipeline, in order.  *verify* appends the optional
-    ``verify-plan`` static-analysis pass."""
+    """The standard pipeline, in order.  *verify* inserts the optional
+    ``verify-plan`` static-analysis pass before kernel lowering."""
     passes: List[Pass] = [
         SubstituteViews(),
         OptimizeMembership(),
@@ -430,4 +450,5 @@ def default_passes(verify: bool = False) -> List[Pass]:
     ]
     if verify:
         passes.append(VerifyPlan())
+    passes.append(LowerKernels())
     return passes

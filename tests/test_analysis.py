@@ -384,7 +384,9 @@ class TestCheckCLI:
                    "--array", "X=scatter:24", "--cache-stats"])
         out = capsys.readouterr().out
         assert rc == 0
-        assert "plan cache:" in out and "table1 cache:" in out
+        # one unified block covering all three compile-time caches
+        assert "caches:" in out
+        assert "plan:" in out and "table1:" in out and "kernel:" in out
         assert "misses=1" in out
 
 

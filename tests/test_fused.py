@@ -1,0 +1,296 @@
+"""The fused backend: compile-once node kernels, the kernel cache, the
+dict-memory fallbacks, and strict verifier gating.
+
+Bit-identity of fused results against every other backend lives in
+``tests/test_pipeline_equiv.py::TestAllBackendsAgree``; this module
+tests the machinery itself.
+"""
+
+import numpy as np
+import pytest
+
+from repro.codegen.dist_tmpl import run_distributed
+from repro.codegen.plan import compile_clause
+from repro.codegen.shared_tmpl import run_shared
+from repro.core import (
+    SEQ,
+    AffineF,
+    Bounds,
+    Clause,
+    IdentityF,
+    IndexSet,
+    Ref,
+    SeparableMap,
+    copy_env,
+    evaluate_clause,
+)
+from repro.core.expr import BinOp
+from repro.decomp import Block, GridDecomposition, Replicated, Scatter
+from repro.machine.fused import FusedStrictError, run_shared_fused
+from repro.pipeline import (
+    clear_plan_cache,
+    compile_plan,
+    enable_plan_cache,
+    kernel_cache_info,
+    plan_cache_info,
+)
+
+N, P = 24, 4
+
+
+def stencil_clause(ordering=None):
+    kw = {} if ordering is None else {"ordering": ordering}
+    return Clause(
+        IndexSet(Bounds((1,), (N - 2,))),
+        Ref("A", SeparableMap([IdentityF()])),
+        (Ref("B", SeparableMap([AffineF(1, -1)]))
+         + Ref("B", SeparableMap([AffineF(1, 1)]))) * 0.5,
+        **kw,
+    )
+
+
+def env1d(seed=0):
+    rng = np.random.default_rng(seed)
+    return {k: rng.random(N) for k in "AB"}
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    clear_plan_cache()
+    yield
+    clear_plan_cache()
+    enable_plan_cache(True)
+
+
+class TestKernelSource:
+    def test_body_is_one_fused_expression(self):
+        ir = compile_plan(stencil_clause(), {"A": Block(N, P),
+                                             "B": Block(N, P)})
+        k = ir.kernels
+        assert k is not None
+        assert "def _rhs(_i, _r):" in k.source
+        # a single return line, no tree-walk helpers
+        body = [ln for ln in k.source.splitlines()
+                if ln.strip().startswith("return")]
+        assert len(body) == 1
+        assert "_r[0]" in body[0] and "_r[1]" in body[0]
+
+    def test_min_lowered_to_ufunc_call(self):
+        cl = Clause(
+            IndexSet(Bounds((0,), (N - 1,))),
+            Ref("A", SeparableMap([IdentityF()])),
+            BinOp("min", Ref("B", SeparableMap([IdentityF()])),
+                  Ref("A", SeparableMap([IdentityF()]))),
+        )
+        ir = compile_plan(cl, {"A": Block(N, P), "B": Scatter(N, P)})
+        assert "_np.minimum" in ir.kernels.source
+
+    def test_guard_gets_its_own_function(self):
+        cl = Clause(
+            IndexSet(Bounds((0,), (N - 1,))),
+            Ref("A", SeparableMap([IdentityF()])),
+            Ref("B", SeparableMap([IdentityF()])) * 2,
+            guard=Ref("B", SeparableMap([IdentityF()])) > 0.5,
+        )
+        ir = compile_plan(cl, {"A": Block(N, P), "B": Block(N, P)})
+        assert "def _guard(_i, _r):" in ir.kernels.source
+        assert ir.kernels.guard is not None
+
+    def test_lower_kernels_is_a_traced_pass(self):
+        ir = compile_plan(stencil_clause(), {"A": Block(N, P),
+                                             "B": Block(N, P)})
+        assert "lower-kernels" in ir.trace.names()
+        rec = next(r for r in ir.trace.records
+                   if r.name == "lower-kernels")
+        assert any("fused kernel" in n for n in rec.notes)
+
+
+class TestKernelCache:
+    def test_structural_recompile_reuses_kernels(self):
+        decomps = {"A": Block(N, P), "B": Block(N, P)}
+        ir1 = compile_plan(stencil_clause(), decomps)
+        before = kernel_cache_info()
+        # structurally identical, fresh objects
+        ir2 = compile_plan(stencil_clause(), {"A": Block(N, P),
+                                              "B": Block(N, P)})
+        after = kernel_cache_info()
+        assert ir2.kernels is ir1.kernels
+        assert after["hits"] >= before["hits"]  # plan-cache clone or kernel hit
+
+    def test_kernel_cache_hit_without_plan_cache_clone(self):
+        decomps = {"A": Block(N, P), "B": Block(N, P)}
+        compile_plan(stencil_clause(), decomps)
+        assert kernel_cache_info()["misses"] >= 1
+        # force the plan cache to recompile but keep the kernel cache warm
+        from repro.pipeline.cache import plan_cache
+
+        plan_cache._entries.clear()
+        ir2 = compile_plan(stencil_clause(), decomps)
+        assert kernel_cache_info()["hits"] >= 1
+        assert ir2.kernels is not None
+        rec = next(r for r in ir2.trace.records
+                   if r.name == "lower-kernels")
+        assert any("kernel-cache hit" in n for n in rec.notes)
+
+    def test_clear_plan_cache_clears_kernels_too(self):
+        compile_plan(stencil_clause(), {"A": Block(N, P), "B": Block(N, P)})
+        assert kernel_cache_info()["size"] >= 1
+        clear_plan_cache()
+        assert kernel_cache_info() == {
+            "hits": 0, "misses": 0, "size": 0,
+            "maxsize": kernel_cache_info()["maxsize"], "enabled": True,
+        }
+
+    def test_disable_plan_cache_disables_kernel_cache(self):
+        enable_plan_cache(False)
+        assert not kernel_cache_info()["enabled"]
+        compile_plan(stencil_clause(), {"A": Block(N, P), "B": Block(N, P)})
+        assert kernel_cache_info()["size"] == 0
+        enable_plan_cache(True)
+        assert plan_cache_info()["enabled"]
+        assert kernel_cache_info()["enabled"]
+
+
+class TestFallbacks:
+    def test_seq_clause_has_no_kernels_but_runs(self):
+        ir = compile_plan(stencil_clause(SEQ), {"A": Block(N, P),
+                                                "B": Block(N, P)})
+        assert ir.kernels is None
+        rec = next(r for r in ir.trace.records
+                   if r.name == "lower-kernels")
+        assert any("no fused kernel" in n for n in rec.notes)
+        plan = compile_clause(stencil_clause(SEQ), {"A": Block(N, P),
+                                                    "B": Block(N, P)})
+        env0 = env1d()
+        ref = evaluate_clause(stencil_clause(SEQ), copy_env(env0))["A"]
+        m = run_shared(plan, copy_env(env0), backend="fused")
+        assert np.array_equal(m.env["A"], ref)
+
+    def test_replicated_write_falls_back_with_note(self):
+        cl = Clause(
+            IndexSet(Bounds((0,), (N - 1,))),
+            Ref("r", SeparableMap([IdentityF()])),
+            Ref("B", SeparableMap([IdentityF()])) + 1.0,
+        )
+        decomps = {"r": Replicated(N, P), "B": Block(N, P)}
+        plan = compile_clause(cl, decomps)
+        k = plan.ir.kernels
+        assert k is not None and k.dist is None
+        assert "replicated write" in k.dist_note
+        env0 = {"r": np.zeros(N), "B": env1d()["B"]}
+        ref = evaluate_clause(cl, copy_env(env0))["r"]
+        a = run_distributed(plan, copy_env(env0),
+                            backend="fused").collect("r")
+        assert np.array_equal(a, ref)
+
+    def test_fused_executor_refuses_without_kernels(self):
+        ir = compile_plan(stencil_clause(SEQ), {"A": Block(N, P),
+                                                "B": Block(N, P)})
+        with pytest.raises(ValueError):
+            run_shared_fused(ir, env1d())
+
+    def test_grid_plan_builds_raveled_kernels(self):
+        g = GridDecomposition([Block(8, 2), Block(8, 2)])
+        cl = Clause(
+            IndexSet(Bounds((1, 1), (6, 6))),
+            Ref("T", SeparableMap([IdentityF(), IdentityF()])),
+            Ref("U", SeparableMap([AffineF(1, -1), IdentityF()])) * 0.5,
+        )
+        ir = compile_plan(cl, {"T": g, "U": g})
+        assert ir.kernels is not None and ir.kernels.dist is not None
+
+
+class TestStrictGating:
+    def racy_plan(self):
+        # the write array is read with a shifted access: RACE under //
+        cl = Clause(
+            IndexSet(Bounds((0,), (N - 2,))),
+            Ref("A", SeparableMap([IdentityF()])),
+            Ref("A", SeparableMap([AffineF(1, 1)])) * 0.5,
+        )
+        return compile_clause(cl, {"A": Block(N, P)})
+
+    def test_strict_refuses_with_code_in_message(self):
+        plan = self.racy_plan()
+        with pytest.raises(FusedStrictError, match="RACE"):
+            run_distributed(plan, env1d(), backend="fused", strict=True)
+        with pytest.raises(FusedStrictError, match="RACE"):
+            run_shared(plan, env1d(), backend="fused", strict=True)
+
+    def test_non_strict_still_runs(self):
+        plan = self.racy_plan()
+        m = run_distributed(plan, env1d(), backend="fused")
+        assert m is not None
+
+    def test_clean_clause_passes_strict(self):
+        plan = compile_clause(stencil_clause(), {"A": Block(N, P),
+                                                 "B": Block(N, P)})
+        env0 = env1d()
+        ref = evaluate_clause(stencil_clause(), copy_env(env0))["A"]
+        m = run_distributed(plan, copy_env(env0), backend="fused",
+                            strict=True)
+        assert np.array_equal(m.collect("A"), ref)
+
+
+class TestFusedCLI:
+    @pytest.fixture
+    def stencil_prog(self, tmp_path):
+        f = tmp_path / "stencil.pal"
+        f.write_text(
+            "for i := 1 to 22 par do\n"
+            "    A[i] := 2 * (B[i - 1] + B[i + 1]);\n"
+            "od;\n"
+        )
+        return str(f)
+
+    @pytest.fixture
+    def racy_prog(self, tmp_path):
+        f = tmp_path / "racy.pal"
+        f.write_text(
+            "for i := 0 to 22 par do\n"
+            "    A[i] := A[i + 1] * 2;\n"
+            "od;\n"
+        )
+        return str(f)
+
+    def _arrays(self):
+        return ["--array", "A=block:24", "--array", "B=block:24"]
+
+    def test_compile_explain_shows_kernel_source(self, stencil_prog, capsys):
+        from repro.cli import main
+
+        rc = main(["compile", stencil_prog, "--backend", "fused",
+                   "--explain"] + self._arrays())
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "def _rhs(_i, _r):" in out
+        assert "lower-kernels" in out
+
+    def test_run_fused_backend(self, stencil_prog, capsys):
+        from repro.cli import main
+
+        rc = main(["run", stencil_prog, "--backend", "fused"]
+                  + self._arrays())
+        assert rc == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_run_fused_strict_refuses_racy(self, racy_prog, capsys):
+        from repro.cli import main
+
+        rc = main(["run", racy_prog, "--backend", "fused", "--strict",
+                   "--array", "A=block:24"])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "RACE" in err
+
+    def test_unified_cache_stats(self, stencil_prog, capsys):
+        from repro.cli import main
+
+        clear_plan_cache()
+        rc = main(["compile", stencil_prog, "--cache-stats"]
+                  + self._arrays())
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "caches:" in out
+        for line in ("plan:", "table1:", "kernel:"):
+            assert line in out

@@ -43,6 +43,7 @@ PASS_ORDER = [
     "eliminate-barriers",
     "recognize-reduction",
     "license-doacross",
+    "lower-kernels",
 ]
 
 
