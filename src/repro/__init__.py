@@ -35,6 +35,7 @@ from .analysis import (
     Severity,
     verify_clause,
 )
+from .backends import UnknownBackendError, backend_names, validate_backend
 from .baselines import run_distributed_naive, run_shared_naive
 from .codegen import (
     SPMDPlan,
@@ -87,6 +88,14 @@ from .decomp import (
 from .frontend import parse, translate, translate_source
 from .machine import DistributedMachine, MachineStats, SharedMachine
 from .pipeline import clear_plan_cache, plan_cache_info
+from .runtime import (
+    MpMachine,
+    RuntimeStats,
+    WorkerCrashError,
+    run_distributed_mp,
+    run_shared_mp,
+    shutdown_runtime,
+)
 from .sets import Work, modify_naive, optimize_access
 
 __version__ = "1.0.0"
@@ -111,6 +120,11 @@ __all__ = [
     "emit_shared_source", "emit_distributed_source", "run_redistribution",
     # static analysis
     "Diagnostic", "DiagnosticReport", "Severity", "verify_clause",
+    # backend registry
+    "UnknownBackendError", "backend_names", "validate_backend",
+    # multi-process runtime
+    "MpMachine", "RuntimeStats", "WorkerCrashError",
+    "run_distributed_mp", "run_shared_mp", "shutdown_runtime",
     # plan cache
     "clear_plan_cache", "plan_cache_info",
     # baselines

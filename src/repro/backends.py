@@ -1,0 +1,66 @@
+"""Execution-backend registry.
+
+One canonical table of every ``backend=`` flavor the generated node
+programs can run under, shared by the CLI and the ``run_*`` dispatchers
+so an unknown name fails the same way everywhere: a one-line error that
+lists the valid backends instead of a traceback from deep inside a
+template.
+
+Entry points that only support a subset (e.g. shared-memory program runs
+have no ``overlap`` — there is no communication to hide) pass their
+subset as *allowed*; the error message then lists that subset.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable, Optional, Tuple
+
+__all__ = [
+    "BACKENDS",
+    "UnknownBackendError",
+    "backend_names",
+    "validate_backend",
+]
+
+
+class UnknownBackendError(ValueError):
+    """A ``backend=`` name not present in the registry (or not supported
+    by the entry point that validated it)."""
+
+
+#: name -> one-line description, in increasing order of specialization
+BACKENDS: "OrderedDict[str, str]" = OrderedDict((
+    ("scalar", "per-element reference templates (paper §2.9/§2.10)"),
+    ("vector", "NumPy segment executor (batched messages)"),
+    ("overlap", "vector + interior compute while messages are in flight"),
+    ("fused", "compile-once fused node kernels, in-process"),
+    ("mp", "multi-process runtime: fused kernels on real OS processes"),
+))
+
+
+def backend_names(allowed: Optional[Iterable[str]] = None) -> Tuple[str, ...]:
+    """The valid backend names, optionally restricted to *allowed*."""
+    if allowed is None:
+        return tuple(BACKENDS)
+    return tuple(allowed)
+
+
+def validate_backend(
+    backend: str,
+    allowed: Optional[Iterable[str]] = None,
+    context: Optional[str] = None,
+) -> str:
+    """Return *backend* if known (and in *allowed*); raise otherwise.
+
+    The exception message is a single line naming the valid choices —
+    callers surface it verbatim (the CLI turns it into ``error: ...``).
+    """
+    names = backend_names(allowed)
+    if backend in names:
+        return backend
+    where = f" for {context}" if context else ""
+    raise UnknownBackendError(
+        f"unknown backend {backend!r}{where}; valid backends: "
+        + ", ".join(names)
+    )

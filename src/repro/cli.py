@@ -30,6 +30,7 @@ from typing import Dict, List
 
 import numpy as np
 
+from .backends import UnknownBackendError, backend_names, validate_backend
 from .codegen import compile_clause, emit_distributed_source, run_distributed
 from .core import copy_env, evaluate_program
 from .core.rewrite import derive_spmd
@@ -137,7 +138,7 @@ def cmd_compile(args) -> int:
             print(plan.trace.pretty(verbose=args.verbose))
         backend = getattr(args, "backend", "scalar")
         kernels = getattr(getattr(plan, "ir", None), "kernels", None)
-        if backend == "fused" and getattr(args, "explain", False):
+        if backend in ("fused", "mp") and getattr(args, "explain", False):
             print()
             if kernels is not None:
                 print(f"# fused kernels — {kernels.describe()}")
@@ -145,9 +146,12 @@ def cmd_compile(args) -> int:
             else:
                 print("# no fused kernels on this plan")
         print()
-        if backend == "fused":
+        if backend in ("fused", "mp"):
             if kernels is not None and kernels.dist is not None:
-                print("# fused backend: compile-once node kernels "
+                what = ("multi-process runtime executing the compile-once "
+                        "node kernels" if backend == "mp"
+                        else "compile-once node kernels")
+                print(f"# {backend} backend: {what} "
                       "(see --explain for the generated source);")
                 print("# equivalent vector-form node program:")
             backend = "vector"
@@ -229,24 +233,43 @@ def cmd_check(args) -> int:
     return 0 if ok else 1
 
 
+def _print_run_stats(machine) -> None:
+    """``run --stats``: machine counters plus, for mp runs, the
+    per-worker runtime lines."""
+    print(machine.stats.summary())
+    for rstats in getattr(machine, "runtime_stats", []):
+        print(f"    {rstats.describe()}")
+
+
 def cmd_run(args) -> int:
     from .machine.fused import FusedStrictError
+    from .runtime import WorkerCrashError
 
     program = _load_program(args)
     decomps = _decomps(args)
     env0 = _random_env(decomps, args.seed)
     ref = evaluate_program(program, copy_env(env0))
     strict = getattr(args, "strict", False)
+    processes = getattr(args, "processes", None)
+    timeout = getattr(args, "timeout", None)
+    show_stats = getattr(args, "stats", False)
     if args.shared:
         from .codegen.barriers import run_program_shared
 
         try:
             machine, barriers = run_program_shared(program, decomps, env0,
                                                    backend=args.backend,
-                                                   strict=strict)
-        except FusedStrictError as e:
+                                                   strict=strict,
+                                                   processes=processes,
+                                                   timeout=timeout)
+        except (FusedStrictError, UnknownBackendError) as e:
+            # run_program_shared accepts a narrower backend set (overlap
+            # has no shared-memory meaning for whole programs)
             print(f"error: {e}", file=sys.stderr)
             return 2
+        except WorkerCrashError as e:
+            print(f"error: {e}", file=sys.stderr)
+            return 3
         ok = True
         for name in {c.lhs.name for c in program}:
             good = np.allclose(machine.env[name], ref[name])
@@ -255,16 +278,22 @@ def cmd_run(args) -> int:
         print(f"shared-memory program run: {len(program)} clause(s), "
               f"{barriers} barrier(s) after elimination, "
               f"tests={machine.stats.total_tests()}")
+        if show_stats:
+            _print_run_stats(machine)
         return 0 if ok else 1
     ok = True
     for clause in program:
         plan = compile_clause(clause, decomps)
         try:
             machine = run_distributed(plan, env0, backend=args.backend,
-                                      strict=strict)
+                                      strict=strict, processes=processes,
+                                      timeout=timeout)
         except FusedStrictError as e:
             print(f"error: clause {clause.name}: {e}", file=sys.stderr)
             return 2
+        except WorkerCrashError as e:
+            print(f"error: clause {clause.name}: {e}", file=sys.stderr)
+            return 3
         result = machine.collect(plan.write_name)
         env0[plan.write_name] = result  # thread state between clauses
         good = np.allclose(result, ref[plan.write_name])
@@ -274,6 +303,8 @@ def cmd_run(args) -> int:
               f"messages={s.total_messages()} "
               f"elements={s.total_elements_moved()} "
               f"updates={s.total_updates()} tests={s.total_tests()}")
+        if show_stats:
+            _print_run_stats(machine)
         if args.show:
             print(f"    {plan.write_name} = {np.round(result, 4)}")
     return 0 if ok else 1
@@ -328,10 +359,9 @@ def build_parser() -> argparse.ArgumentParser:
     comp.add_argument("--verbose", action="store_true",
                       help="with --explain: include before/after IR "
                            "snapshots per pass")
-    comp.add_argument("--backend",
-                      choices=("scalar", "vector", "overlap", "fused"),
-                      default="scalar",
-                      help="flavor of emitted node program (fused shows "
+    comp.add_argument("--backend", default="scalar", metavar="BACKEND",
+                      help="flavor of emitted node program, one of: "
+                           f"{', '.join(backend_names())} (fused/mp show "
                            "the compile-once kernel source with --explain)")
     comp.add_argument("--cache-stats", action="store_true",
                       help="print one unified block of plan-, Table I "
@@ -356,16 +386,28 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--shared", action="store_true",
                      help="run on the shared-memory machine with barrier "
                           "elimination (whole program, fused phases)")
-    run.add_argument("--backend",
-                     choices=("scalar", "vector", "overlap", "fused"),
-                     default="scalar",
-                     help="scalar per-element templates, the NumPy "
-                          "vectorized segment executor, the overlapped "
-                          "interior/boundary executor, or the compile-once "
-                          "fused kernel executor")
+    run.add_argument("--backend", default="scalar", metavar="BACKEND",
+                     help=f"one of: {', '.join(backend_names())} — scalar "
+                          "per-element templates, the NumPy vectorized "
+                          "segment executor, the overlapped "
+                          "interior/boundary executor, the compile-once "
+                          "fused kernel executor, or the multi-process "
+                          "runtime (real OS processes + shared memory)")
     run.add_argument("--strict", action="store_true",
-                     help="with --backend fused: refuse to execute clauses "
-                          "the static verifier flagged RACE*/COMM*")
+                     help="with --backend fused/mp: refuse to execute "
+                          "clauses the static verifier flagged RACE*/COMM*")
+    run.add_argument("--processes", type=int, default=None, metavar="N",
+                     help="with --backend mp: worker process count "
+                          "(default: min(pmax, 8); nodes are multiplexed "
+                          "round-robin when N < pmax)")
+    run.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                     help="with --backend mp: per-run execution timeout "
+                          "in seconds (a hung run raises WorkerCrashError "
+                          "instead of blocking forever)")
+    run.add_argument("--stats", action="store_true",
+                     help="print the machine statistics summary (and, for "
+                          "--backend mp, per-worker kernel/communication/"
+                          "barrier timings)")
     run.set_defaults(fn=cmd_run)
 
     der = sub.add_parser("derive", help="print the §2.6 rewrite chain")
@@ -376,6 +418,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: List[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if hasattr(args, "backend"):
+        try:
+            validate_backend(args.backend, context=args.command)
+        except UnknownBackendError as e:
+            raise SystemExit(f"error: {e}")
     if getattr(args, "no_plan_cache", False):
         from .pipeline import enable_plan_cache
 

@@ -153,6 +153,8 @@ def run_program_shared(
     eliminate_barriers: bool = True,
     backend: str = "scalar",
     strict: bool = False,
+    processes: Optional[int] = None,
+    timeout: Optional[float] = None,
 ) -> Tuple[SharedMachine, int]:
     """Execute a multi-clause program on the shared-memory machine.
 
@@ -163,12 +165,16 @@ def run_program_shared(
     and the number of barriers actually executed.
 
     ``backend="vector"`` (or ``"fused"``, the compile-once kernel
-    executor) applies to unfused ``//`` phases; fused *barrier* runs
-    keep the scalar walk (their legality proof is about the interleaved
-    per-node commit order, which batching would reorder).
+    executor, or ``"mp"``, the multi-process runtime) applies to unfused
+    ``//`` phases; fused *barrier* runs keep the scalar walk (their
+    legality proof is about the interleaved per-node commit order, which
+    batching would reorder).
     """
-    if backend not in ("scalar", "vector", "fused"):
-        raise ValueError(f"unknown backend {backend!r}")
+    from ..backends import validate_backend
+
+    validate_backend(
+        backend, allowed=("scalar", "vector", "fused", "mp"),
+        context="run_program_shared")
     pmax = max(d.pmax for d in decomps.values())
     machine = SharedMachine(pmax, env)
     flags = (plan_barriers(program, decomps) if eliminate_barriers
@@ -197,7 +203,7 @@ def run_program_shared(
             from .shared_tmpl import run_shared
 
             run_shared(plans[0], machine.env, machine, backend=backend,
-                       strict=strict)
+                       strict=strict, processes=processes, timeout=timeout)
             barriers += 1
             continue
         # fused execution: node-major, per-clause per-node buffering

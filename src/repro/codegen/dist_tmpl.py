@@ -37,6 +37,7 @@ from typing import Dict, Generator, List, Optional, Tuple
 import numpy as np
 
 from ..analysis import annotate_deadlock
+from ..backends import validate_backend
 from ..core.clause import Ordering
 from ..decomp.replicated import Replicated
 from ..machine.distributed import DistributedMachine, NodeContext
@@ -140,6 +141,8 @@ def run_distributed(
     backend: str = "scalar",
     model=None,
     strict: bool = False,
+    processes: Optional[int] = None,
+    timeout: Optional[float] = None,
 ) -> DistributedMachine:
     """Place *env* on a distributed machine, run the clause, return the
     machine (use ``machine.collect(name)`` for the post-state).
@@ -158,15 +161,41 @@ def run_distributed(
     :class:`~repro.machine.channels.LatencyModel` attached to a newly
     created machine (virtual-time accounting only).  *strict* makes a
     fused run refuse clauses the static verifier flagged RACE*/COMM*.
+    ``backend="mp"`` executes the fused kernels on the real worker
+    processes of :mod:`repro.runtime` — real messages over queues,
+    global arrays in shared memory (*processes*/*timeout* apply there)
+    — falling back to the fused path when the plan has no mp form or a
+    pre-placed *machine* is supplied.
     """
-    if backend not in ("scalar", "vector", "overlap", "fused"):
-        raise ValueError(f"unknown backend {backend!r}")
+    validate_backend(backend, context="run_distributed")
     if plan.clause.ordering is Ordering.SEQ:
         raise NotImplementedError(
             "distributed DOACROSS (the paper's 'more complicated orderings') "
             "is not generated; use the shared-memory template for • clauses"
         )
     ir = getattr(plan, "ir", None)
+    if backend == "mp":
+        trace = getattr(plan, "trace", None)
+        why = None
+        if ir is None:
+            why = "plan carries no IR"
+        elif machine is not None:
+            why = ("a pre-placed machine was supplied; the mp runtime "
+                   "owns its own placement")
+        elif plan.write_replicated:
+            why = "replicated write is a per-copy broadcast"
+        if why is None:
+            from ..runtime import MpLoweringError, run_distributed_mp
+
+            try:
+                return run_distributed_mp(ir, env, strict=strict,
+                                          processes=processes,
+                                          timeout=timeout)
+            except MpLoweringError as err:
+                why = str(err)
+        if trace is not None:
+            trace.note(f"backend='mp' fell back to the fused path: {why}")
+        backend = "fused"
     if backend == "fused" and ir is not None and not plan.write_replicated:
         kernels = getattr(ir, "kernels", None)
         if kernels is not None and kernels.dist is not None:

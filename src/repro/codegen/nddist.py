@@ -234,6 +234,8 @@ def run_distributed_nd(
     backend: str = "scalar",
     model=None,
     strict: bool = False,
+    processes: Optional[int] = None,
+    timeout: Optional[float] = None,
 ) -> DistributedMachine:
     """Place *env* (grid decompositions get nd-local layouts), run the
     clause, return the machine; use :func:`collect_nd` for grid arrays.
@@ -249,9 +251,33 @@ def run_distributed_nd(
     no fused form.  *model* is an optional
     :class:`~repro.machine.channels.LatencyModel` for a new machine.
     *strict* makes a fused run refuse RACE*/COMM*-flagged clauses.
+    ``backend="mp"`` runs the fused kernels on real worker processes
+    (*processes*/*timeout* apply there), falling back to the fused path
+    when the plan has no mp form or a pre-placed *machine* is given.
     """
-    if backend not in ("scalar", "vector", "overlap", "fused"):
-        raise ValueError(f"unknown backend {backend!r}")
+    from ..backends import validate_backend
+
+    validate_backend(backend, context="run_distributed_nd")
+    if backend == "mp":
+        trace = getattr(plan, "trace", None)
+        why = None
+        if plan.ir is None:
+            why = "plan carries no IR"
+        elif machine is not None:
+            why = ("a pre-placed machine was supplied; the mp runtime "
+                   "owns its own placement")
+        if why is None:
+            from ..runtime import MpLoweringError, run_distributed_mp
+
+            try:
+                return run_distributed_mp(plan.ir, env, strict=strict,
+                                          processes=processes,
+                                          timeout=timeout)
+            except MpLoweringError as err:
+                why = str(err)
+        if trace is not None:
+            trace.note(f"backend='mp' fell back to the fused path: {why}")
+        backend = "fused"
     if backend == "fused" and plan.ir is not None:
         kernels = getattr(plan.ir, "kernels", None)
         if kernels is not None and kernels.dist is not None:
@@ -300,6 +326,8 @@ def run_distributed_nd(
 
 def collect_nd(machine: DistributedMachine, name: str) -> np.ndarray:
     """Gather a grid-decomposed array back to its global nd view."""
+    if getattr(machine, "is_mp", False):
+        return machine.collect(name)
     dec = machine.decomps[name]
     if isinstance(dec, GridDecomposition):
         return gather_global_nd(name, dec, machine.memories)

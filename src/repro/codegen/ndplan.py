@@ -118,19 +118,40 @@ def run_shared_nd(
     env: Dict[str, np.ndarray],
     machine: Optional[SharedMachine] = None,
     backend: str = "scalar",
+    processes: Optional[int] = None,
+    timeout: Optional[float] = None,
 ) -> SharedMachine:
     """Execute on the shared-memory machine (direct global addressing).
 
     ``backend="vector"`` runs ``//`` clauses through the NumPy segment
     executor; ``backend="fused"`` runs the compile-once node kernels
     (falling back to the vector executor when the plan has none);
+    ``backend="mp"`` runs those kernels on real worker processes
+    (falling back to fused when the plan has no mp form);
     • clauses (a serial chain) always take the scalar path.
     """
-    if backend not in ("scalar", "vector", "fused"):
-        raise ValueError(f"unknown backend {backend!r}")
+    from ..backends import validate_backend
+
+    validate_backend(
+        backend, allowed=("scalar", "vector", "fused", "mp"),
+        context="run_shared_nd")
     clause = plan.clause
     if machine is None:
         machine = SharedMachine(plan.pmax, env)
+
+    if backend == "mp":
+        if plan.ir is not None:
+            from ..runtime import MpLoweringError, run_shared_mp
+
+            try:
+                return run_shared_mp(plan.ir, env, machine,
+                                     processes=processes, timeout=timeout)
+            except MpLoweringError as err:
+                trace = getattr(plan, "trace", None)
+                if trace is not None:
+                    trace.note("backend='mp' fell back to the fused "
+                               f"path: {err}")
+        backend = "fused"
 
     if backend == "fused":
         kernels = getattr(plan.ir, "kernels", None) \

@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..backends import validate_backend
 from ..core.clause import Clause, Ordering
 from ..machine.shared import SharedMachine
 from ..sets.membership import Work
@@ -53,6 +54,8 @@ def run_shared(
     machine: Optional[SharedMachine] = None,
     backend: str = "scalar",
     strict: bool = False,
+    processes: Optional[int] = None,
+    timeout: Optional[float] = None,
 ) -> SharedMachine:
     """Execute one clause on a shared-memory machine; returns the machine
     (its ``env`` holds the post-state, its ``stats`` the counters).
@@ -66,12 +69,33 @@ def run_shared(
     runs the compile-once node kernels attached by the `lower-kernels`
     pass (falling back to the vector path, with a trace note, when the
     plan has no fused form); *strict* makes a fused run refuse clauses
-    the static verifier flagged RACE*/COMM*.
+    the static verifier flagged RACE*/COMM*.  ``backend="mp"`` executes
+    those same kernels on the real worker processes of
+    :mod:`repro.runtime` (*processes*/*timeout* apply there), falling
+    back to the fused path when the plan has no mp form.
     """
-    if backend not in ("scalar", "vector", "overlap", "fused"):
-        raise ValueError(f"unknown backend {backend!r}")
+    validate_backend(backend, context="run_shared")
     if machine is None:
         machine = SharedMachine(plan.pmax, env)
+    if backend == "mp":
+        ir = getattr(plan, "ir", None)
+        if ir is not None:
+            from ..runtime import MpLoweringError, run_shared_mp
+
+            try:
+                return run_shared_mp(ir, env, machine, strict=strict,
+                                     processes=processes, timeout=timeout)
+            except MpLoweringError as err:
+                trace = getattr(plan, "trace", None)
+                if trace is not None:
+                    trace.note("backend='mp' fell back to the fused "
+                               f"path: {err}")
+        else:
+            trace = getattr(plan, "trace", None)
+            if trace is not None:
+                trace.note("backend='mp' fell back to the fused path: "
+                           "plan carries no IR")
+        backend = "fused"
     if backend == "overlap":
         trace = getattr(plan, "trace", None)
         if trace is not None:

@@ -286,8 +286,15 @@ def plan_cache_info() -> Dict[str, object]:
 
 def clear_plan_cache() -> None:
     """Drop every cached plan *and* the fused kernels attached to them —
-    a stale kernel must never run against a re-anchored plan."""
+    a stale kernel must never run against a re-anchored plan.  If the
+    multi-process runtime was ever started, its worker pools (which hold
+    installed copies of those kernels) are shut down too."""
     plan_cache.clear()
     from .kernels import kernel_cache
 
     kernel_cache.clear()
+    import sys
+
+    runtime = sys.modules.get("repro.runtime")
+    if runtime is not None:  # never import the runtime just to clear it
+        runtime.shutdown_runtime()

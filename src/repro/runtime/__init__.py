@@ -1,0 +1,61 @@
+"""Multi-process SPMD runtime (``backend="mp"``).
+
+The simulated machines prove the paper's generation story; this package
+executes it: the compile-once fused node kernels of the `lower-kernels`
+pass run in **real OS processes**, with global arrays in
+``multiprocessing.shared_memory`` and inter-node messages over real
+queues following the overlap schedule (post sends, compute interior,
+drain, commit boundary).
+
+Layers
+------
+
+``lowering``   plan IR -> :class:`MpProgram` (global-address gather/
+               scatter keys, per-node send/read plans, lane split)
+``shm``        per-run shared-memory sessions + leak-proof unlinking
+``worker``     the worker process main loop (install/run protocol)
+``pool``       persistent :class:`WorkerPool`, crash/timeout detection,
+               self-healing respawn, :func:`shutdown_runtime`
+``exec``       ``run_shared_mp`` / ``run_distributed_mp`` drivers and
+               the :class:`MpMachine` result surface
+``stats``      per-worker :class:`RuntimeStats` observability
+
+See ``docs/runtime.md`` for the process model and failure semantics.
+"""
+
+from .exec import MpMachine, run_distributed_mp, run_shared_mp
+from .lowering import (
+    MpLoweringError,
+    MpProgram,
+    lower_dist,
+    lower_shared,
+)
+from .pool import (
+    DEFAULT_TIMEOUT,
+    WorkerCrashError,
+    WorkerPool,
+    get_pool,
+    runtime_info,
+    shutdown_runtime,
+)
+from .shm import ShmSession, active_segments
+from .stats import RuntimeStats
+
+__all__ = [
+    "DEFAULT_TIMEOUT",
+    "MpLoweringError",
+    "MpMachine",
+    "MpProgram",
+    "RuntimeStats",
+    "ShmSession",
+    "WorkerCrashError",
+    "WorkerPool",
+    "active_segments",
+    "get_pool",
+    "lower_dist",
+    "lower_shared",
+    "run_distributed_mp",
+    "run_shared_mp",
+    "runtime_info",
+    "shutdown_runtime",
+]

@@ -1,0 +1,148 @@
+"""Parent-side drivers: run compiled plans on the worker pool.
+
+``run_shared_mp`` / ``run_distributed_mp`` are what the ``backend="mp"``
+dispatch branches of the code generators call.  Both:
+
+* gate on the static verifier exactly like fused ``--strict``
+  (:func:`repro.machine.fused.check_strict`);
+* lower the plan once (cached on its kernels) via
+  :mod:`repro.runtime.lowering` — a plan with no mp form raises
+  :class:`~repro.runtime.lowering.MpLoweringError`, which the
+  dispatchers catch to fall back to the in-process fused path;
+* back the global arrays with a per-run :class:`~repro.runtime.shm.ShmSession`
+  and execute on the persistent pool;
+* aggregate the workers' per-node counters into the existing
+  :class:`~repro.machine.stats.MachineStats` (counter-for-counter with
+  the fused backend) and attach the per-worker
+  :class:`~repro.runtime.stats.RuntimeStats` as ``runtime_stats``.
+
+Node programs multiplex round-robin onto workers (``node % nprocs``)
+when fewer processes than nodes are requested.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.clause import Ordering
+from ..machine.shared import SharedMachine
+from ..machine.stats import MachineStats
+from .lowering import MpLoweringError, lower_dist, lower_shared
+from .pool import DEFAULT_TIMEOUT, get_pool
+from .shm import ShmSession
+from .stats import RuntimeStats
+
+__all__ = ["MpMachine", "run_distributed_mp", "run_shared_mp"]
+
+#: default worker-count ceiling when ``processes`` is not given
+_DEFAULT_MAX_PROCESSES = 8
+
+
+def _nprocs(processes: Optional[int], pmax: int) -> int:
+    if processes is None:
+        env = os.environ.get("REPRO_MP_PROCESSES")
+        processes = int(env) if env else min(pmax, _DEFAULT_MAX_PROCESSES)
+    return max(1, min(int(processes), pmax))
+
+
+class MpMachine:
+    """Result surface of a distributed mp run: global post-state plus
+    the usual stats counters (duck-compatible with ``collect``/``stats``
+    consumers of the simulated distributed machine)."""
+
+    is_mp = True
+
+    def __init__(self, pmax: int, decomps: Dict[str, object]):
+        self.pmax = pmax
+        self.decomps = dict(decomps)
+        self.stats = MachineStats.for_nodes(pmax)
+        self.arrays: Dict[str, np.ndarray] = {}
+        self.runtime_stats: List[RuntimeStats] = []
+
+    def collect(self, name: str) -> np.ndarray:
+        return np.array(self.arrays[name])
+
+    def global_view(self, name: str) -> np.ndarray:
+        return self.arrays[name]
+
+
+def _fill_stats(stats: MachineStats, replies) -> List[RuntimeStats]:
+    workers = []
+    for rstats, counts in replies:
+        workers.append(rstats)
+        for p, c in counts.items():
+            node = stats[p]
+            for attr, value in c.items():
+                setattr(node, attr, getattr(node, attr) + value)
+    workers.sort(key=lambda s: s.rank)
+    return workers
+
+
+def _check(ir, strict: bool) -> None:
+    from ..machine.fused import check_strict
+
+    if ir.clause.ordering is not Ordering.PAR:
+        raise MpLoweringError(
+            "sequential (•) clause is a serial chain; scalar path kept")
+    check_strict(ir, strict)
+
+
+def run_shared_mp(
+    ir,
+    env: Dict[str, np.ndarray],
+    machine: Optional[SharedMachine] = None,
+    strict: bool = False,
+    processes: Optional[int] = None,
+    timeout: Optional[float] = None,
+    _fault_delay=None,
+) -> SharedMachine:
+    """Execute a ``//`` clause's shared kernels on real processes; the
+    returned :class:`SharedMachine` holds post-state and counters."""
+    _check(ir, strict)
+    prog = lower_shared(ir)
+    if machine is None:
+        machine = SharedMachine(ir.pmax, env)
+    genv = machine.env
+    pool = get_pool(_nprocs(processes, ir.pmax))
+    session = ShmSession({name: genv[name] for name in prog.array_names})
+    try:
+        replies = pool.run(prog, session.spec(),
+                           timeout or DEFAULT_TIMEOUT, _fault_delay)
+        np.copyto(genv[prog.write_name], session.views[prog.write_name])
+        machine.runtime_stats = _fill_stats(machine.stats, replies)
+    finally:
+        session.close()
+    return machine
+
+
+def run_distributed_mp(
+    ir,
+    env: Dict[str, np.ndarray],
+    strict: bool = False,
+    processes: Optional[int] = None,
+    timeout: Optional[float] = None,
+    _fault_delay=None,
+) -> MpMachine:
+    """Execute a ``//`` clause's distributed program on real processes
+    (real messages over the worker queues, overlap schedule)."""
+    _check(ir, strict)
+    prog = lower_dist(ir)
+    for name in prog.array_names:
+        if name not in env:
+            raise KeyError(f"environment is missing array {name!r}")
+    machine = MpMachine(ir.pmax, prog.decomps)
+    for name, arr in env.items():
+        machine.arrays[name] = np.asarray(arr, dtype=np.float64).copy()
+    pool = get_pool(_nprocs(processes, ir.pmax))
+    session = ShmSession({name: env[name] for name in prog.array_names})
+    try:
+        replies = pool.run(prog, session.spec(),
+                           timeout or DEFAULT_TIMEOUT, _fault_delay)
+        machine.arrays[prog.write_name] = session.read(prog.write_name)
+        machine.runtime_stats = _fill_stats(machine.stats, replies)
+    finally:
+        session.close()
+    return machine

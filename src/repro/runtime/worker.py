@@ -1,0 +1,299 @@
+"""Worker process main loop of the multi-process runtime.
+
+Each worker owns a command pipe to the parent, one inbox queue (its end
+of the inter-node message fabric) and a slice of the pool's shared phase
+table.  Installed programs are kept in a small LRU keyed by the
+program's token; the kernel source is ``exec``-compiled once per
+install, exactly like the fused backend does in-process.
+
+A run follows the overlap schedule against the shared-memory global
+arrays:
+
+1. **send**      — gather pre-state payloads with the precomputed global
+                   keys, put one message per (read, peer) on the
+                   destination worker's inbox;
+2. **gather**    — assemble each owned node's read value vectors from
+                   direct global loads (remote lanes left to fill);
+3. **barrier**   — the pre-commit barrier: every send and local gather
+                   on every worker happened against pre-state;
+4. **interior**  — fused interior kernel + global scatter commit;
+5. **drain**     — blocking inbox reads fill the remote lanes (messages
+                   are matched by ``(dst node, src node, read pos)`` and
+                   stale run ids discarded);
+6. **boundary**  — fused boundary kernel + commit.
+
+Every blocking operation carries the remaining per-run timeout, so a
+worker never hangs: it reports a failure (with its phase) and the parent
+turns that into a :class:`~repro.runtime.pool.WorkerCrashError`.
+"""
+
+from __future__ import annotations
+
+import os
+import queue as queue_mod
+import time
+import traceback
+from collections import OrderedDict
+from typing import Dict
+
+import numpy as np
+
+from .shm import attach_segment
+from .stats import (
+    PH_BARRIER,
+    PH_BOUNDARY,
+    PH_DELAY,
+    PH_DONE,
+    PH_DRAIN,
+    PH_GATHER,
+    PH_IDLE,
+    PH_INSTALL,
+    PH_INTERIOR,
+    PH_SEND,
+    RuntimeStats,
+)
+
+__all__ = ["worker_main"]
+
+_PLAN_LRU = 64
+
+
+def _compile_kernel(source: str):
+    ns: Dict[str, object] = {"_np": np}
+    exec(compile(source, "<mp-kernel>", "exec"), ns)  # noqa: S102
+    return ns["_rhs"], ns.get("_guard")
+
+
+class _Installed:
+    """One installed program on this worker: compiled kernel + my nodes."""
+
+    def __init__(self, payload):
+        (self.token, self.flavor, self.source, self.nreads,
+         self.write_name, self.my_nodes) = payload
+        self.rhs, self.guard = _compile_kernel(self.source)
+
+
+def _zero_counts() -> Dict[str, int]:
+    return {"sends": 0, "recvs": 0, "elements_sent": 0,
+            "elements_received": 0, "local_updates": 0,
+            "iterations": 0, "barriers": 0}
+
+
+def _index(key: tuple):
+    return key if len(key) > 1 else key[0]
+
+
+def _commit(inst, node, rvals, lanes, idx_sub, wkey, target, count):
+    """Fused kernel + global scatter over one lane set (mirrors the
+    fused executors' commit, with global write keys)."""
+    from ..machine.vectorize import _as_value_vec
+
+    m = int(lanes.size)
+    if not m:
+        return
+    sub_r = [v[lanes] for v in rvals]
+    values = _as_value_vec(inst.rhs(idx_sub, sub_r), m)
+    if inst.guard is not None:
+        mask = np.broadcast_to(
+            np.asarray(inst.guard(idx_sub, sub_r), dtype=bool), (m,))
+        wkey = tuple(a[mask] for a in wkey)
+        values = values[mask]
+    target[_index(wkey)] = values
+    count["local_updates"] += int(values.size)
+
+
+def _run(inst, run_id, arrays, timeout, fault_delay, rank, nprocs,
+         inboxes, barrier, set_phase):
+    t_start = time.perf_counter()
+    deadline = time.monotonic() + timeout
+    stats = RuntimeStats(rank=rank, pid=os.getpid(),
+                         nodes=tuple(nd.p for nd in inst.my_nodes))
+    counts = {nd.p: _zero_counts() for nd in inst.my_nodes}
+    inbox = inboxes[rank]
+
+    def remaining() -> float:
+        left = deadline - time.monotonic()
+        if left <= 0:
+            raise TimeoutError(
+                f"worker {rank} exceeded the {timeout:.1f}s run timeout")
+        return left
+
+    first = inst.my_nodes[0].p if inst.my_nodes else -1
+    if fault_delay is not None and fault_delay[0] == rank:
+        # test hook: park this worker so crash/timeout paths are
+        # deterministically exercisable
+        set_phase(PH_DELAY, first)
+        time.sleep(float(fault_delay[1]))
+
+    # ---- send phase -----------------------------------------------------
+    for node in inst.my_nodes:
+        set_phase(PH_SEND, node.p)
+        c = counts[node.p]
+        for s in node.sends:
+            c["iterations"] += s.count
+            src_arr = arrays[s.name]
+            for q, key in s.peers:
+                payload = np.ascontiguousarray(
+                    src_arr[_index(key)], dtype=np.float64)
+                inboxes[q % nprocs].put((run_id, q, node.p, s.pos, payload))
+                c["sends"] += 1
+                c["elements_sent"] += int(payload.size)
+                stats.send_count += 1
+                stats.send_bytes += int(payload.nbytes)
+
+    # ---- gather phase ---------------------------------------------------
+    rvals_by = {}
+    missing = {}  # (dst node, src node, read pos) -> (vals, fill lanes)
+    for node in inst.my_nodes:
+        set_phase(PH_GATHER, node.p)
+        counts[node.p]["iterations"] += node.n
+        if node.n == 0:
+            continue
+        rvals = [None] * inst.nreads
+        for r in node.reads:
+            if r.local_pos is None:
+                vals = np.asarray(arrays[r.name][_index(r.local_key)],
+                                  dtype=np.float64)
+            else:
+                vals = np.empty(node.n, dtype=np.float64)
+                if r.local_pos.size:
+                    vals[r.local_pos] = arrays[r.name][_index(r.local_key)]
+            for src, fill in r.sources:
+                missing[(node.p, src, r.pos)] = (vals, fill)
+            rvals[r.pos] = vals
+        rvals_by[node.p] = rvals
+
+    # ---- pre-commit barrier ---------------------------------------------
+    set_phase(PH_BARRIER, first)
+    t0 = time.perf_counter()
+    barrier.wait(remaining())
+    stats.barrier_s += time.perf_counter() - t0
+    for c in counts.values():
+        c["barriers"] += 1
+
+    # ---- interior kernels (messages may still be in flight) -------------
+    t0 = time.perf_counter()
+    for node in inst.my_nodes:
+        if node.n:
+            set_phase(PH_INTERIOR, node.p)
+            _commit(inst, node, rvals_by[node.p], node.interior,
+                    node.idx_interior, node.wkey_interior,
+                    arrays[inst.write_name], counts[node.p])
+    stats.kernel_s += time.perf_counter() - t0
+
+    # ---- drain ----------------------------------------------------------
+    set_phase(PH_DRAIN, first)
+    while missing:
+        try:
+            item = inbox.get(timeout=remaining())
+        except queue_mod.Empty:
+            raise TimeoutError(
+                f"worker {rank} timed out draining messages "
+                f"({len(missing)} pending)")
+        rid, dst, src, pos, payload = item
+        if rid != run_id:
+            continue  # stale message from an aborted run
+        entry = missing.pop((dst, src, pos), None)
+        if entry is None:
+            continue
+        vals, fill = entry
+        payload = np.asarray(payload, dtype=np.float64)
+        vals[fill] = payload
+        counts[dst]["recvs"] += 1
+        counts[dst]["elements_received"] += int(payload.size)
+        stats.recv_count += 1
+        stats.recv_bytes += int(payload.nbytes)
+
+    # ---- boundary kernels ------------------------------------------------
+    t0 = time.perf_counter()
+    for node in inst.my_nodes:
+        if node.n:
+            set_phase(PH_BOUNDARY, node.p)
+            _commit(inst, node, rvals_by[node.p], node.boundary,
+                    node.idx_boundary, node.wkey_boundary,
+                    arrays[inst.write_name], counts[node.p])
+    stats.kernel_s += time.perf_counter() - t0
+
+    set_phase(PH_DONE, first)
+    stats.total_s = time.perf_counter() - t_start
+    return stats, counts
+
+
+def _execute(inst, run_id, shm_spec, timeout, fault_delay, rank, nprocs,
+             inboxes, barrier, set_phase, untrack):
+    """Attach the run's segments, execute, always detach."""
+    segs, arrays = {}, {}
+    try:
+        for name, (segname, shape) in shm_spec.items():
+            seg = attach_segment(segname, untrack=untrack)
+            segs[name] = seg
+            arrays[name] = np.ndarray(shape, dtype=np.float64, buffer=seg.buf)
+        return _run(inst, run_id, arrays, timeout, fault_delay, rank,
+                    nprocs, inboxes, barrier, set_phase)
+    finally:
+        arrays.clear()
+        for seg in segs.values():
+            try:
+                seg.close()
+            except Exception:
+                # a traceback frame can pin a view on the error path;
+                # the fd is reclaimed when the pool respawns this worker
+                pass
+
+
+def worker_main(rank, nprocs, conn, inboxes, barrier, phase_table,
+                untrack=False):
+    """Entry point of one pool worker (runs until exit/EOF)."""
+    plans: "OrderedDict[int, _Installed]" = OrderedDict()
+
+    def set_phase(idx: int, node: int = -1) -> None:
+        phase_table[2 * rank] = idx
+        phase_table[2 * rank + 1] = node
+
+    set_phase(PH_IDLE)
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            return
+        kind = msg[0]
+        if kind == "plan":
+            set_phase(PH_INSTALL)
+            try:
+                inst = _Installed(msg[1])
+                plans[inst.token] = inst
+                while len(plans) > _PLAN_LRU:
+                    plans.popitem(last=False)
+                conn.send(("planok", inst.token))
+            except Exception:
+                conn.send(("err", -1, rank, "install", -1,
+                           traceback.format_exc()))
+            set_phase(PH_IDLE)
+        elif kind == "run":
+            _, token, run_id, shm_spec, timeout, fault_delay = msg
+            try:
+                inst = plans.get(token)
+                if inst is None:
+                    raise RuntimeError(
+                        f"program {token} is not installed on worker {rank}")
+                stats, counts = _execute(
+                    inst, run_id, shm_spec, timeout, fault_delay,
+                    rank, nprocs, inboxes, barrier, set_phase, untrack)
+                conn.send(("done", run_id, rank, stats, counts))
+            except BaseException:
+                from .stats import PHASES
+
+                pi = int(phase_table[2 * rank])
+                node = int(phase_table[2 * rank + 1])
+                phase = PHASES[pi] if 0 <= pi < len(PHASES) else str(pi)
+                try:
+                    conn.send(("err", run_id, rank, phase, node,
+                               traceback.format_exc()))
+                except Exception:
+                    return
+            finally:
+                set_phase(PH_IDLE)
+        elif kind == "ping":
+            conn.send(("pong", rank, os.getpid()))
+        elif kind == "exit":
+            return

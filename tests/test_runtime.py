@@ -1,0 +1,335 @@
+"""Tests for the multi-process SPMD runtime (``backend="mp"``).
+
+Covers the acceptance bar of the runtime subsystem: bit-identity with
+the in-process fused backend (same kernels, same counters), persistent
+pool reuse, crash and timeout detection (a killed or hung worker raises
+:class:`WorkerCrashError`, never a hang), self-healing recovery, stats
+aggregation, strict verifier gating, resource disposal, and the backend
+registry surfaced through the CLI.
+"""
+
+import os
+import signal
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import (
+    Block,
+    Clause,
+    IndexSet,
+    Ref,
+    SeparableMap,
+    WorkerCrashError,
+    clear_plan_cache,
+    compile_clause,
+    copy_env,
+    evaluate_clause,
+    run_distributed,
+    run_shared,
+    shutdown_runtime,
+)
+from repro.backends import UnknownBackendError, backend_names
+from repro.cli import main
+from repro.codegen.nddist import (
+    collect_nd,
+    compile_clause_nd_dist,
+    run_distributed_nd,
+)
+from repro.core import AffineF, Bounds, Const, IdentityF
+from repro.core.expr import BinOp
+from repro.decomp import GridDecomposition
+from repro.machine.fused import FusedStrictError
+from repro.runtime import (
+    active_segments,
+    get_pool,
+    run_distributed_mp,
+    run_shared_mp,
+    runtime_info,
+)
+
+N, P = 48, 4
+
+
+def stencil_clause():
+    return Clause(
+        IndexSet(Bounds((1,), (N - 2,))),
+        Ref("A", SeparableMap([IdentityF()])),
+        (Ref("B", SeparableMap([AffineF(1, -1)]))
+         + Ref("B", SeparableMap([AffineF(1, 1)]))) * 0.5,
+    )
+
+
+def stencil_plan():
+    return compile_clause(stencil_clause(), {"A": Block(N, P),
+                                             "B": Block(N, P)})
+
+
+def env1d(seed=0):
+    rng = np.random.default_rng(seed)
+    return {k: rng.random(N) for k in "AB"}
+
+
+def grid_clause(n):
+    def sref(di, dj):
+        fi = AffineF(1, di) if di else IdentityF()
+        fj = AffineF(1, dj) if dj else IdentityF()
+        return Ref("S", SeparableMap([fi, fj]))
+
+    return Clause(
+        IndexSet(Bounds((1, 1), (n - 2, n - 2))),
+        Ref("T", SeparableMap([IdentityF(), IdentityF()])),
+        BinOp("*", Const(0.25),
+              BinOp("+", BinOp("+", sref(-1, 0), sref(1, 0)),
+                    BinOp("+", sref(0, -1), sref(0, 1)))),
+    )
+
+
+@pytest.fixture(scope="module", autouse=True)
+def runtime_teardown():
+    yield
+    shutdown_runtime()
+
+
+def _counters(machine):
+    s = machine.stats
+    return (s.total_messages(), s.total_elements_moved(),
+            s.total_updates())
+
+
+class TestBitIdentity:
+    """mp executes the *same* compiled kernels as fused over the same
+    lane vectors, so results must match bit for bit — and the counters
+    must match count for count."""
+
+    def test_distributed_matches_fused(self):
+        plan, env0 = stencil_plan(), env1d()
+        mf = run_distributed(plan, copy_env(env0), backend="fused")
+        mm = run_distributed(plan, copy_env(env0), backend="mp")
+        assert np.array_equal(mf.collect("A"), mm.collect("A"))
+        assert _counters(mf) == _counters(mm)
+
+    def test_shared_matches_fused(self):
+        plan, env0 = stencil_plan(), env1d()
+        mf = run_shared(plan, copy_env(env0), backend="fused")
+        mm = run_shared(plan, copy_env(env0), backend="mp")
+        assert np.array_equal(mf.env["A"], mm.env["A"])
+
+    def test_nd_grid_matches_fused(self):
+        n = 24
+        g = GridDecomposition([Block(n, 2), Block(n, 2)])
+        plan = compile_clause_nd_dist(grid_clause(n), {"T": g, "S": g})
+        rng = np.random.default_rng(3)
+        env0 = {"S": rng.random((n, n)), "T": np.zeros((n, n))}
+        mf = run_distributed_nd(plan, copy_env(env0), backend="fused")
+        mm = run_distributed_nd(plan, copy_env(env0), backend="mp")
+        assert np.array_equal(collect_nd(mf, "T"), collect_nd(mm, "T"))
+        assert _counters(mf) == _counters(mm)
+
+    def test_matches_sequential_reference(self):
+        plan, env0 = stencil_plan(), env1d(9)
+        ref = evaluate_clause(stencil_clause(), copy_env(env0))["A"]
+        mm = run_distributed(plan, copy_env(env0), backend="mp")
+        assert np.array_equal(mm.collect("A"), ref)
+
+
+class TestPoolReuse:
+    """The pool is the process-level analogue of the plan cache: spawned
+    once per worker count and reused run after run."""
+
+    def test_same_workers_across_runs(self):
+        plan, env0 = stencil_plan(), env1d()
+        m1 = run_distributed(plan, copy_env(env0), backend="mp",
+                             processes=P)
+        m2 = run_distributed(plan, copy_env(env0), backend="mp",
+                             processes=P)
+        pids1 = [s.pid for s in m1.runtime_stats]
+        pids2 = [s.pid for s in m2.runtime_stats]
+        assert pids1 == pids2
+        assert get_pool(P) is get_pool(P)
+        info = runtime_info()
+        assert info[P]["installed"] >= 1
+
+    def test_node_multiplexing(self):
+        # fewer processes than nodes: nodes go round-robin, results and
+        # aggregate counters unchanged
+        plan, env0 = stencil_plan(), env1d(5)
+        mf = run_distributed(plan, copy_env(env0), backend="fused")
+        mm = run_distributed(plan, copy_env(env0), backend="mp",
+                             processes=2)
+        assert np.array_equal(mf.collect("A"), mm.collect("A"))
+        assert _counters(mf) == _counters(mm)
+        assert len(mm.runtime_stats) == 2
+        assert sorted(p for s in mm.runtime_stats for p in s.nodes) \
+            == list(range(P))
+
+
+class TestRobustness:
+    """A dead or hung worker must surface as WorkerCrashError naming the
+    worker and phase — never as a hang — and the pool must self-heal."""
+
+    def test_timeout_raises_and_names_laggard(self):
+        plan, env0 = stencil_plan(), env1d()
+        t0 = time.monotonic()
+        with pytest.raises(WorkerCrashError) as err:
+            run_distributed_mp(plan.ir, copy_env(env0), processes=P,
+                               timeout=0.5, _fault_delay=(1, 8.0))
+        assert time.monotonic() - t0 < 30.0
+        assert err.value.rank == 1
+        assert err.value.phase == "fault-delay"
+        # the pool respawned: the next run succeeds
+        m = run_distributed_mp(plan.ir, copy_env(env0), processes=P)
+        ref = evaluate_clause(stencil_clause(), copy_env(env0))["A"]
+        assert np.array_equal(m.collect("A"), ref)
+
+    def test_killed_worker_raises_and_pool_recovers(self):
+        plan, env0 = stencil_plan(), env1d()
+        run_distributed_mp(plan.ir, copy_env(env0), processes=P)  # warm
+        pool = get_pool(P)
+        before = pool.pids()
+
+        def killer():
+            for _ in range(800):
+                if pool.phases()[1][0] == "fault-delay":
+                    os.kill(pool.pids()[1], signal.SIGKILL)
+                    return
+                time.sleep(0.01)
+
+        t = threading.Thread(target=killer)
+        t.start()
+        t0 = time.monotonic()
+        with pytest.raises(WorkerCrashError) as err:
+            run_distributed_mp(plan.ir, copy_env(env0), processes=P,
+                               _fault_delay=(1, 8.0))
+        t.join()
+        assert time.monotonic() - t0 < 30.0
+        assert err.value.rank == 1
+        # self-heal: fresh workers, correct results
+        assert pool.pids() != before
+        m = run_distributed_mp(plan.ir, copy_env(env0), processes=P)
+        ref = evaluate_clause(stencil_clause(), copy_env(env0))["A"]
+        assert np.array_equal(m.collect("A"), ref)
+
+
+class TestStatsAggregation:
+    def test_worker_stats_sum_to_machine_counters(self):
+        plan, env0 = stencil_plan(), env1d(2)
+        mm = run_distributed(plan, copy_env(env0), backend="mp",
+                             processes=P)
+        assert len(mm.runtime_stats) == P
+        assert sum(s.send_count for s in mm.runtime_stats) \
+            == mm.stats.total_messages()
+        assert sum(s.recv_count for s in mm.runtime_stats) \
+            == mm.stats.total_messages()
+        assert sum(s.recv_bytes for s in mm.runtime_stats) \
+            == 8 * mm.stats.total_elements_moved()
+        for s in mm.runtime_stats:
+            assert s.total_s > 0.0
+            assert s.kernel_s >= 0.0
+            assert "worker" in s.describe()
+
+
+class TestStrictGating:
+    def test_mp_refuses_racy_clause_under_strict(self):
+        cl = Clause(
+            IndexSet(Bounds((0,), (N - 2,))),
+            Ref("A", SeparableMap([IdentityF()])),
+            Ref("A", SeparableMap([AffineF(1, 1)])) * 0.5,
+        )
+        plan = compile_clause(cl, {"A": Block(N, P)})
+        env0 = {"A": np.random.default_rng(0).random(N)}
+        with pytest.raises(FusedStrictError, match="RACE"):
+            run_distributed(plan, copy_env(env0), backend="mp",
+                            strict=True)
+        with pytest.raises(FusedStrictError, match="RACE"):
+            run_shared(plan, copy_env(env0), backend="mp", strict=True)
+
+
+class TestDisposal:
+    def test_shutdown_runtime_releases_everything(self):
+        plan, env0 = stencil_plan(), env1d()
+        run_distributed(plan, copy_env(env0), backend="mp")
+        assert runtime_info()
+        shutdown_runtime()
+        assert runtime_info() == {}
+        assert active_segments() == frozenset()
+        if os.path.isdir("/dev/shm"):
+            leaked = [f for f in os.listdir("/dev/shm")
+                      if f.startswith("repro-mp-")]
+            assert leaked == []
+
+    def test_clear_plan_cache_disposes_runtime(self):
+        plan, env0 = stencil_plan(), env1d()
+        run_distributed(plan, copy_env(env0), backend="mp")
+        assert runtime_info()
+        clear_plan_cache()
+        assert runtime_info() == {}
+
+    def test_pool_revives_after_shutdown(self):
+        plan, env0 = stencil_plan(), env1d()
+        shutdown_runtime()
+        m = run_distributed(plan, copy_env(env0), backend="mp")
+        ref = evaluate_clause(stencil_clause(), copy_env(env0))["A"]
+        assert np.array_equal(m.collect("A"), ref)
+
+
+PROGRAM = """
+for i := 1 to n - 2 par do
+    A[i] := B[i - 1] + B[i + 1];
+od
+"""
+
+
+@pytest.fixture
+def prog_file(tmp_path):
+    f = tmp_path / "prog.pal"
+    f.write_text(PROGRAM)
+    return str(f)
+
+
+def _run_args(prog_file, *extra):
+    return ["run", prog_file, "--pmax", "4",
+            "--array", f"A=block:{N}", "--array", f"B=block:{N}",
+            "--param", f"n={N}"] + list(extra)
+
+
+class TestBackendRegistryCLI:
+    def test_registry_lists_all_backends(self):
+        assert backend_names() == ("scalar", "vector", "overlap",
+                                   "fused", "mp")
+
+    def test_unknown_backend_is_one_line_error(self):
+        plan, env0 = stencil_plan(), env1d()
+        with pytest.raises(UnknownBackendError) as err:
+            run_distributed(plan, copy_env(env0), backend="gpu")
+        msg = str(err.value)
+        assert "\n" not in msg
+        assert "gpu" in msg
+        for name in backend_names():
+            assert name in msg
+
+    def test_cli_rejects_unknown_backend(self, prog_file):
+        with pytest.raises(SystemExit) as err:
+            main(_run_args(prog_file, "--backend", "cuda"))
+        msg = str(err.value.code)
+        assert msg.startswith("error: unknown backend 'cuda'")
+        assert "\n" not in msg
+
+    def test_cli_run_mp_with_stats(self, prog_file, capsys):
+        rc = main(_run_args(prog_file, "--backend", "mp",
+                            "--processes", "4", "--stats"))
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "OK" in out
+        assert "worker 0" in out
+        assert "kernel" in out
+
+    def test_cli_run_mp_shared(self, prog_file, capsys):
+        rc = main(_run_args(prog_file, "--backend", "mp", "--shared",
+                            "--stats"))
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "OK" in out
+        assert "worker 0" in out
