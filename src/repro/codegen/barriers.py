@@ -158,72 +158,21 @@ def run_program_shared(
 ) -> Tuple[SharedMachine, int]:
     """Execute a multi-clause program on the shared-memory machine.
 
-    Consecutive clauses whose barrier was proven removable run *fused*:
-    node-major, each node committing its own writes per clause as it
-    goes — legal exactly because the analysis showed no datum crosses a
-    processor across (or within) the fused phases.  Returns the machine
-    and the number of barriers actually executed.
+    Thin legacy wrapper: the program is compiled through
+    :func:`repro.pipeline.compile_program` (whose `fuse-clauses` pass
+    groups consecutive clauses with removable barriers) and executed by
+    :func:`repro.pipeline.run_program`.  Returns the machine and the
+    number of barriers actually executed.
 
-    ``backend="vector"`` (or ``"fused"``, the compile-once kernel
-    executor, or ``"mp"``, the multi-process runtime) applies to unfused
-    ``//`` phases; fused *barrier* runs keep the scalar walk (their
-    legality proof is about the interleaved per-node commit order, which
-    batching would reorder).
+    The full backend registry applies, exactly as for single clauses
+    (``overlap`` degrades to the vector backend with a trace note).
     """
-    from ..backends import validate_backend
+    from ..pipeline import compile_program, run_program
 
-    validate_backend(
-        backend, allowed=("scalar", "vector", "fused", "mp"),
-        context="run_program_shared")
+    pir = compile_program(program, decomps,
+                          eliminate_barriers=eliminate_barriers)
     pmax = max(d.pmax for d in decomps.values())
     machine = SharedMachine(pmax, env)
-    flags = (plan_barriers(program, decomps) if eliminate_barriers
-             else [True] * len(program.clauses))
-
-    # group clauses into fused runs ending at each kept barrier
-    groups: List[List[Clause]] = []
-    current: List[Clause] = []
-    for clause, need_barrier in zip(program.clauses, flags):
-        current.append(clause)
-        if need_barrier:
-            groups.append(current)
-            current = []
-    if current:
-        groups.append(current)
-
-    barriers = 0
-    for group in groups:
-        plans = [compile_clause(c, decomps) for c in group]
-        if len(group) == 1 and group[0].ordering is Ordering.SEQ:
-            from .shared_tmpl import run_shared
-
-            run_shared(plans[0], machine.env, machine)
-            continue
-        if len(group) == 1:
-            from .shared_tmpl import run_shared
-
-            run_shared(plans[0], machine.env, machine, backend=backend,
-                       strict=strict, processes=processes, timeout=timeout)
-            barriers += 1
-            continue
-        # fused execution: node-major, per-clause per-node buffering
-        for p in range(pmax):
-            for clause, plan in zip(group, plans):
-                buf = []
-                for i in plan.modify_indices(p):
-                    machine.stats[p].iterations += 1
-                    idx = (i,)
-                    if clause.guard is not None and not clause.guard.eval(
-                        idx, machine.env
-                    ):
-                        continue
-                    ai = clause.lhs.array_index(idx)[0]
-                    buf.append((clause.lhs.name, ai,
-                                clause.rhs.eval(idx, machine.env)))
-                for name, ai, v in buf:
-                    machine.env[name][ai] = v
-                    machine.stats[p].local_updates += 1
-        barriers += 1
-        for p in range(pmax):
-            machine.stats[p].barriers += 1
-    return machine, barriers
+    return run_program(pir, env, backend=backend, strict=strict,
+                       processes=processes, timeout=timeout,
+                       machine=machine)

@@ -38,6 +38,7 @@ __all__ = [
     "FusedStrictError",
     "check_strict",
     "run_shared_fused",
+    "run_group_fused",
     "make_fused_node_program",
     "run_distributed_fused",
 ]
@@ -132,6 +133,46 @@ def run_shared_fused(
             values = values[mask]
         target[w_ai if len(w_ai) > 1 else w_ai[0]] = values
         machine.stats[p].local_updates += int(values.size)
+    return machine
+
+
+def run_group_fused(irs, machine: SharedMachine) -> SharedMachine:
+    """Execute a *fused clause group* (consecutive clauses whose barriers
+    were proven removable) with the precompiled shared kernels.
+
+    The walk is node-major — node p runs every clause of the group (one
+    gather, one fused expression, one commit per clause) before node p+1
+    starts — which matches the legacy scalar group walk order exactly.
+    The fusion certificate (no cross-processor flow/anti/output
+    dependence, no intra-clause overlap) is what makes this order and
+    the all-nodes-phase order produce identical values; bit-identity
+    with the scalar walk is asserted by the equivalence tests.
+
+    One barrier is charged per node for the whole group, not per clause.
+    """
+    genv = machine.env
+    for p in range(machine.pmax):
+        for ir in irs:
+            k = ir.kernels
+            if p >= len(k.shared):
+                continue
+            nk = k.shared[p]
+            machine.stats[p].iterations += nk.n
+            if nk.n == 0:
+                continue
+            rvals = [genv[name][key] for name, key in nk.read_keys]
+            values = _as_value_vec(k.rhs(nk.idx, rvals), nk.n)
+            w_ai = nk.write_key_vecs
+            if k.guard is not None:
+                mask = np.broadcast_to(np.asarray(
+                    k.guard(nk.idx, rvals), dtype=bool), (nk.n,))
+                w_ai = tuple(a[mask] for a in w_ai)
+                values = values[mask]
+            target = genv[k.write_name]
+            target[w_ai if len(w_ai) > 1 else w_ai[0]] = values
+            machine.stats[p].local_updates += int(values.size)
+    for p in range(machine.pmax):
+        machine.stats[p].barriers += 1
     return machine
 
 

@@ -78,6 +78,16 @@ __all__ = [
     "kernel_cache",
     "kernel_cache_info",
     "clear_kernel_cache",
+    "ProgramIR",
+    "ProgramStep",
+    "ProgramCache",
+    "compile_program",
+    "run_program",
+    "evaluate_program_reference",
+    "program_key",
+    "program_cache",
+    "program_cache_info",
+    "clear_program_cache",
 ]
 
 
@@ -133,3 +143,18 @@ def compile_plan(
         ir.trace.cache_key = key
         plan_cache.store(key, ir)
     return ir
+
+
+# imported last: the program layer compiles its clauses via compile_plan
+from .program import (  # noqa: E402
+    ProgramCache,
+    ProgramIR,
+    ProgramStep,
+    clear_program_cache,
+    compile_program,
+    evaluate_program_reference,
+    program_cache,
+    program_cache_info,
+    program_key,
+    run_program,
+)

@@ -32,6 +32,7 @@ and can be disabled (CLI ``--no-plan-cache``).
 from __future__ import annotations
 
 import dataclasses
+import os
 import threading
 from collections import OrderedDict
 from typing import Dict, Optional, Tuple
@@ -53,6 +54,19 @@ __all__ = [
 ]
 
 _DEFAULT_MAXSIZE = 256
+
+
+def _env_maxsize(default: int) -> int:
+    """LRU capacity, overridable with ``REPRO_CACHE_SIZE`` (applies to
+    the plan, kernel, Table I and program caches alike; read at cache
+    construction time)."""
+    raw = os.environ.get("REPRO_CACHE_SIZE")
+    if not raw:
+        return default
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return default
 
 
 # -- structural keys ---------------------------------------------------------
@@ -151,11 +165,13 @@ def plan_key(
 class PlanCache:
     """Thread-safe LRU cache of compiled :class:`~repro.pipeline.ir.PlanIR`."""
 
-    def __init__(self, maxsize: int = _DEFAULT_MAXSIZE):
-        self.maxsize = maxsize
+    def __init__(self, maxsize: Optional[int] = None):
+        self.maxsize = (_env_maxsize(_DEFAULT_MAXSIZE)
+                        if maxsize is None else maxsize)
         self.enabled = True
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         self._entries: "OrderedDict[tuple, object]" = OrderedDict()
         self._lock = threading.Lock()
 
@@ -194,6 +210,7 @@ class PlanCache:
             self._entries.move_to_end(key)
             while len(self._entries) > self.maxsize:
                 self._entries.popitem(last=False)
+                self.evictions += 1
 
     def attach_diagnostics(self, key: tuple, report) -> None:
         """Attach a verification report to the cached entry for *key*
@@ -210,12 +227,14 @@ class PlanCache:
             self._entries.clear()
             self.hits = 0
             self.misses = 0
+            self.evictions = 0
 
     def info(self) -> Dict[str, object]:
         with self._lock:
             return {
                 "hits": self.hits,
                 "misses": self.misses,
+                "evictions": self.evictions,
                 "size": len(self._entries),
                 "maxsize": self.maxsize,
                 "enabled": self.enabled,
@@ -293,6 +312,9 @@ def clear_plan_cache() -> None:
     from .kernels import kernel_cache
 
     kernel_cache.clear()
+    from .program import program_cache
+
+    program_cache.clear()
     import sys
 
     runtime = sys.modules.get("repro.runtime")

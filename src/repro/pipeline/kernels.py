@@ -45,7 +45,7 @@ import numpy as np
 
 from ..core.clause import Ordering
 from ..core.expr import BinOp, Const, LoopIndex, Ref, UnOp
-from .cache import plan_key
+from .cache import _env_maxsize, plan_key
 
 __all__ = [
     "FusedKernels",
@@ -393,11 +393,13 @@ class KernelCache:
     """Thread-safe LRU cache of :class:`FusedKernels`, keyed by the plan
     cache's structural keys — warm recompiles skip codegen entirely."""
 
-    def __init__(self, maxsize: int = _DEFAULT_MAXSIZE):
-        self.maxsize = maxsize
+    def __init__(self, maxsize: Optional[int] = None):
+        self.maxsize = (_env_maxsize(_DEFAULT_MAXSIZE)
+                        if maxsize is None else maxsize)
         self.enabled = True
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         self._entries: "OrderedDict[tuple, FusedKernels]" = OrderedDict()
         self._lock = threading.Lock()
 
@@ -417,18 +419,21 @@ class KernelCache:
             self._entries.move_to_end(key)
             while len(self._entries) > self.maxsize:
                 self._entries.popitem(last=False)
+                self.evictions += 1
 
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
             self.hits = 0
             self.misses = 0
+            self.evictions = 0
 
     def info(self) -> Dict[str, object]:
         with self._lock:
             return {
                 "hits": self.hits,
                 "misses": self.misses,
+                "evictions": self.evictions,
                 "size": len(self._entries),
                 "maxsize": self.maxsize,
                 "enabled": self.enabled,

@@ -23,7 +23,12 @@ Layers
 See ``docs/runtime.md`` for the process model and failure semantics.
 """
 
-from .exec import MpMachine, run_distributed_mp, run_shared_mp
+from .exec import (
+    MpMachine,
+    run_distributed_mp,
+    run_program_mp,
+    run_shared_mp,
+)
 from .lowering import (
     MpLoweringError,
     MpProgram,
@@ -55,6 +60,7 @@ __all__ = [
     "lower_dist",
     "lower_shared",
     "run_distributed_mp",
+    "run_program_mp",
     "run_shared_mp",
     "runtime_info",
     "shutdown_runtime",

@@ -35,7 +35,8 @@ from .pool import DEFAULT_TIMEOUT, get_pool
 from .shm import ShmSession
 from .stats import RuntimeStats
 
-__all__ = ["MpMachine", "run_distributed_mp", "run_shared_mp"]
+__all__ = ["MpMachine", "run_distributed_mp", "run_program_mp",
+           "run_shared_mp"]
 
 #: default worker-count ceiling when ``processes`` is not given
 _DEFAULT_MAX_PROCESSES = 8
@@ -116,6 +117,58 @@ def run_shared_mp(
     finally:
         session.close()
     return machine
+
+
+def run_program_mp(
+    pir,
+    machine: SharedMachine,
+    strict: bool = False,
+    processes: Optional[int] = None,
+    timeout: Optional[float] = None,
+    _fault_delay=None,
+):
+    """Execute a whole compiled program (``ProgramIR``) on the worker
+    pool: every clause lowered once, ONE shared-memory session across
+    all clauses and all ``repeat`` iterations, end-of-clause barriers
+    only where the fusion pass kept them, and worker-side buffer swaps
+    between iterations.  Returns ``(machine, barriers)``.
+
+    Raises :class:`MpLoweringError` when the program has no whole-program
+    mp form — a sequential clause, a clause without shared kernels, or an
+    unpipelined time loop (a surviving redistribution boundary or an
+    incompatible swap pair) — in which case the caller falls back to
+    driving clauses individually, one session per clause per step.
+    """
+    steps = pir.steps
+    for st in steps:
+        _check(st.ir, strict)
+    if pir.repeat > 1 and not pir.pipelined:
+        raise MpLoweringError(
+            f"time loop is not pipelined ({pir.pipeline_reason})")
+    progs = [lower_shared(st.ir) for st in steps]
+    genv = machine.env
+    names = sorted(
+        set().union(*(set(p.array_names) for p in progs))
+        | {n for pair in pir.swap for n in pair})
+    for name in names:
+        if name not in genv:
+            raise KeyError(f"environment is missing array {name!r}")
+    pool = get_pool(_nprocs(processes, pir.pmax))
+    session = ShmSession({name: genv[name] for name in names})
+    try:
+        replies = pool.run_seq(
+            progs, session.spec(), pir.repeat, pir.swap,
+            pir.barrier_flags(), timeout or DEFAULT_TIMEOUT, _fault_delay)
+        mapping = {name: name for name in names}
+        if pir.repeat % 2:
+            for a, b in pir.swap:
+                mapping[a], mapping[b] = b, a
+        for name in names:
+            np.copyto(genv[name], session.views[mapping[name]])
+        machine.runtime_stats = _fill_stats(machine.stats, replies)
+    finally:
+        session.close()
+    return machine, pir.barriers_per_step() * pir.repeat
 
 
 def run_distributed_mp(

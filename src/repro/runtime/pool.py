@@ -291,6 +291,32 @@ class WorkerPool:
 
         return self._await_each(match, deadline, f"run {run_id}")
 
+    def run_seq(self, progs, shm_spec, steps: int, swap, flags,
+                timeout: Optional[float] = None, fault_delay=None) -> list:
+        """Execute a pipelined program: ``steps`` iterations of the
+        installed clause sequence against one set of segments, buffer
+        pairs in *swap* exchanged worker-side after every step.  One
+        command, one reply per worker for the whole time loop."""
+        timeout = float(timeout) if timeout else DEFAULT_TIMEOUT
+        deadline = time.monotonic() + timeout + _REPORT_GRACE
+        if not self.alive():
+            self.respawn()
+        for prog in progs:
+            self.install(prog, deadline)
+        run_id = next(self._run_seq)
+        tokens = tuple(prog.token for prog in progs)
+        for rank in range(self.nprocs):
+            self._send(rank, ("runseq", tokens, run_id, shm_spec,
+                              int(steps), tuple(swap), tuple(flags),
+                              timeout, fault_delay))
+
+        def match(msg):
+            if msg[0] == "done" and msg[1] == run_id:
+                return (msg[3], msg[4])
+            return None
+
+        return self._await_each(match, deadline, f"program run {run_id}")
+
 
 # ---------------------------------------------------------------------------
 # pool registry + global shutdown

@@ -102,28 +102,16 @@ def _commit(inst, node, rvals, lanes, idx_sub, wkey, target, count):
     count["local_updates"] += int(values.size)
 
 
-def _run(inst, run_id, arrays, timeout, fault_delay, rank, nprocs,
-         inboxes, barrier, set_phase):
-    t_start = time.perf_counter()
-    deadline = time.monotonic() + timeout
-    stats = RuntimeStats(rank=rank, pid=os.getpid(),
-                         nodes=tuple(nd.p for nd in inst.my_nodes))
-    counts = {nd.p: _zero_counts() for nd in inst.my_nodes}
+def _run_clause(inst, rid, arrays, remaining, rank, nprocs, inboxes,
+                barrier, set_phase, stats, counts, stash):
+    """One clause of the overlap schedule: send, gather, pre-commit
+    barrier, interior, drain, boundary.  *rid* tags this clause's
+    messages: ``(run id, clause sequence number)``.  *stash* holds
+    early messages of later clauses — at a fused (barrier-free) clause
+    boundary a fast peer may already be sending for the next clause
+    while this worker still drains the current one."""
     inbox = inboxes[rank]
-
-    def remaining() -> float:
-        left = deadline - time.monotonic()
-        if left <= 0:
-            raise TimeoutError(
-                f"worker {rank} exceeded the {timeout:.1f}s run timeout")
-        return left
-
     first = inst.my_nodes[0].p if inst.my_nodes else -1
-    if fault_delay is not None and fault_delay[0] == rank:
-        # test hook: park this worker so crash/timeout paths are
-        # deterministically exercisable
-        set_phase(PH_DELAY, first)
-        time.sleep(float(fault_delay[1]))
 
     # ---- send phase -----------------------------------------------------
     for node in inst.my_nodes:
@@ -135,7 +123,7 @@ def _run(inst, run_id, arrays, timeout, fault_delay, rank, nprocs,
             for q, key in s.peers:
                 payload = np.ascontiguousarray(
                     src_arr[_index(key)], dtype=np.float64)
-                inboxes[q % nprocs].put((run_id, q, node.p, s.pos, payload))
+                inboxes[q % nprocs].put((rid, q, node.p, s.pos, payload))
                 c["sends"] += 1
                 c["elements_sent"] += int(payload.size)
                 stats.send_count += 1
@@ -168,8 +156,8 @@ def _run(inst, run_id, arrays, timeout, fault_delay, rank, nprocs,
     t0 = time.perf_counter()
     barrier.wait(remaining())
     stats.barrier_s += time.perf_counter() - t0
-    for c in counts.values():
-        c["barriers"] += 1
+    for node in inst.my_nodes:
+        counts[node.p]["barriers"] += 1
 
     # ---- interior kernels (messages may still be in flight) -------------
     t0 = time.perf_counter()
@@ -183,6 +171,21 @@ def _run(inst, run_id, arrays, timeout, fault_delay, rank, nprocs,
 
     # ---- drain ----------------------------------------------------------
     set_phase(PH_DRAIN, first)
+
+    def fill(dst, src, pos, payload):
+        entry = missing.pop((dst, src, pos), None)
+        if entry is None:
+            return
+        vals, lanes = entry
+        payload = np.asarray(payload, dtype=np.float64)
+        vals[lanes] = payload
+        counts[dst]["recvs"] += 1
+        counts[dst]["elements_received"] += int(payload.size)
+        stats.recv_count += 1
+        stats.recv_bytes += int(payload.nbytes)
+
+    for dst, src, pos, payload in stash.pop(rid, ()):
+        fill(dst, src, pos, payload)
     while missing:
         try:
             item = inbox.get(timeout=remaining())
@@ -190,19 +193,13 @@ def _run(inst, run_id, arrays, timeout, fault_delay, rank, nprocs,
             raise TimeoutError(
                 f"worker {rank} timed out draining messages "
                 f"({len(missing)} pending)")
-        rid, dst, src, pos, payload = item
-        if rid != run_id:
-            continue  # stale message from an aborted run
-        entry = missing.pop((dst, src, pos), None)
-        if entry is None:
-            continue
-        vals, fill = entry
-        payload = np.asarray(payload, dtype=np.float64)
-        vals[fill] = payload
-        counts[dst]["recvs"] += 1
-        counts[dst]["elements_received"] += int(payload.size)
-        stats.recv_count += 1
-        stats.recv_bytes += int(payload.nbytes)
+        mid, dst, src, pos, payload = item
+        if mid == rid:
+            fill(dst, src, pos, payload)
+        elif mid[0] == rid[0] and mid[1] > rid[1]:
+            # early message of a later clause in this same run sequence
+            stash.setdefault(mid, []).append((dst, src, pos, payload))
+        # else: stale message from an aborted run — discard
 
     # ---- boundary kernels ------------------------------------------------
     t0 = time.perf_counter()
@@ -214,22 +211,96 @@ def _run(inst, run_id, arrays, timeout, fault_delay, rank, nprocs,
                     arrays[inst.write_name], counts[node.p])
     stats.kernel_s += time.perf_counter() - t0
 
+
+def _make_remaining(rank, timeout):
+    deadline = time.monotonic() + timeout
+
+    def remaining() -> float:
+        left = deadline - time.monotonic()
+        if left <= 0:
+            raise TimeoutError(
+                f"worker {rank} exceeded the {timeout:.1f}s run timeout")
+        return left
+
+    return remaining
+
+
+def _run(inst, run_id, arrays, timeout, fault_delay, rank, nprocs,
+         inboxes, barrier, set_phase):
+    t_start = time.perf_counter()
+    stats = RuntimeStats(rank=rank, pid=os.getpid(),
+                         nodes=tuple(nd.p for nd in inst.my_nodes))
+    counts = {nd.p: _zero_counts() for nd in inst.my_nodes}
+    remaining = _make_remaining(rank, timeout)
+
+    first = inst.my_nodes[0].p if inst.my_nodes else -1
+    if fault_delay is not None and fault_delay[0] == rank:
+        # test hook: park this worker so crash/timeout paths are
+        # deterministically exercisable
+        set_phase(PH_DELAY, first)
+        time.sleep(float(fault_delay[1]))
+
+    _run_clause(inst, (run_id, 0), arrays, remaining, rank, nprocs,
+                inboxes, barrier, set_phase, stats, counts, {})
     set_phase(PH_DONE, first)
     stats.total_s = time.perf_counter() - t_start
     return stats, counts
 
 
-def _execute(inst, run_id, shm_spec, timeout, fault_delay, rank, nprocs,
-             inboxes, barrier, set_phase, untrack):
-    """Attach the run's segments, execute, always detach."""
+def _run_seq(insts, run_id, arrays, steps, swap, flags, timeout,
+             fault_delay, rank, nprocs, inboxes, barrier, set_phase):
+    """A whole pipelined program: ``steps`` iterations of the installed
+    clause sequence against one set of attached segments.
+
+    Every worker executes the same barrier.wait sequence (one pre-commit
+    wait per clause, plus one end-of-clause wait where ``flags[k]`` keeps
+    the barrier), so mp.Barrier generations stay globally ordered.  The
+    end-of-clause barrier is skipped at fused boundaries — the fusion
+    certificate rules out cross-processor traffic there — and after the
+    very last clause of the very last step.  Buffer pairs in *swap* are
+    exchanged in the local array dict after every step (zero-copy; the
+    parent maps segment names back accordingly)."""
+    t_start = time.perf_counter()
+    nodes = sorted({nd.p for inst in insts for nd in inst.my_nodes})
+    stats = RuntimeStats(rank=rank, pid=os.getpid(), nodes=tuple(nodes))
+    counts = {p: _zero_counts() for p in nodes}
+    remaining = _make_remaining(rank, timeout)
+    stash: Dict[tuple, list] = {}
+
+    first = nodes[0] if nodes else -1
+    if fault_delay is not None and fault_delay[0] == rank:
+        set_phase(PH_DELAY, first)
+        time.sleep(float(fault_delay[1]))
+
+    nclauses = len(insts)
+    for step in range(steps):
+        for k, inst in enumerate(insts):
+            _run_clause(inst, (run_id, step * nclauses + k), arrays,
+                        remaining, rank, nprocs, inboxes, barrier,
+                        set_phase, stats, counts, stash)
+            last = step == steps - 1 and k == nclauses - 1
+            if flags[k] and not last:
+                set_phase(PH_BARRIER, first)
+                t0 = time.perf_counter()
+                barrier.wait(remaining())
+                stats.barrier_s += time.perf_counter() - t0
+        for a, b in swap:
+            arrays[a], arrays[b] = arrays[b], arrays[a]
+
+    set_phase(PH_DONE, first)
+    stats.total_s = time.perf_counter() - t_start
+    return stats, counts
+
+
+def _attached(shm_spec, untrack, body):
+    """Attach the run's segments, call ``body(arrays)``, always detach."""
     segs, arrays = {}, {}
     try:
         for name, (segname, shape) in shm_spec.items():
             seg = attach_segment(segname, untrack=untrack)
             segs[name] = seg
             arrays[name] = np.ndarray(shape, dtype=np.float64, buffer=seg.buf)
-        return _run(inst, run_id, arrays, timeout, fault_delay, rank,
-                    nprocs, inboxes, barrier, set_phase)
+        return body(arrays)
     finally:
         arrays.clear()
         for seg in segs.values():
@@ -239,6 +310,21 @@ def _execute(inst, run_id, shm_spec, timeout, fault_delay, rank, nprocs,
                 # a traceback frame can pin a view on the error path;
                 # the fd is reclaimed when the pool respawns this worker
                 pass
+
+
+def _execute(inst, run_id, shm_spec, timeout, fault_delay, rank, nprocs,
+             inboxes, barrier, set_phase, untrack):
+    return _attached(shm_spec, untrack, lambda arrays: _run(
+        inst, run_id, arrays, timeout, fault_delay, rank, nprocs,
+        inboxes, barrier, set_phase))
+
+
+def _execute_seq(insts, run_id, shm_spec, steps, swap, flags, timeout,
+                 fault_delay, rank, nprocs, inboxes, barrier, set_phase,
+                 untrack):
+    return _attached(shm_spec, untrack, lambda arrays: _run_seq(
+        insts, run_id, arrays, steps, swap, flags, timeout, fault_delay,
+        rank, nprocs, inboxes, barrier, set_phase))
 
 
 def worker_main(rank, nprocs, conn, inboxes, barrier, phase_table,
@@ -279,6 +365,36 @@ def worker_main(rank, nprocs, conn, inboxes, barrier, phase_table,
                 stats, counts = _execute(
                     inst, run_id, shm_spec, timeout, fault_delay,
                     rank, nprocs, inboxes, barrier, set_phase, untrack)
+                conn.send(("done", run_id, rank, stats, counts))
+            except BaseException:
+                from .stats import PHASES
+
+                pi = int(phase_table[2 * rank])
+                node = int(phase_table[2 * rank + 1])
+                phase = PHASES[pi] if 0 <= pi < len(PHASES) else str(pi)
+                try:
+                    conn.send(("err", run_id, rank, phase, node,
+                               traceback.format_exc()))
+                except Exception:
+                    return
+            finally:
+                set_phase(PH_IDLE)
+        elif kind == "runseq":
+            (_, tokens, run_id, shm_spec, steps, swap, flags,
+             timeout, fault_delay) = msg
+            try:
+                insts = []
+                for token in tokens:
+                    inst = plans.get(token)
+                    if inst is None:
+                        raise RuntimeError(
+                            f"program {token} is not installed on "
+                            f"worker {rank}")
+                    insts.append(inst)
+                stats, counts = _execute_seq(
+                    insts, run_id, shm_spec, steps, swap, flags,
+                    timeout, fault_delay, rank, nprocs, inboxes,
+                    barrier, set_phase, untrack)
                 conn.send(("done", run_id, rank, stats, counts))
             except BaseException:
                 from .stats import PHASES

@@ -26,6 +26,7 @@ sets are completely reduced at compile time" (§3).
 
 from __future__ import annotations
 
+import os
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -176,27 +177,46 @@ def _sample_piece(f: ModularF, imin: int, imax: int) -> IFunc:
 # hash structurally, opaque callables degrade to identity (misses, never
 # false hits).  A ``None`` cache key opts the decomposition out entirely.
 
-_CACHE_MAXSIZE = 1024
+_DEFAULT_CACHE_MAXSIZE = 1024
+
+
+def _env_maxsize(default: int) -> int:
+    """LRU capacity, overridable with ``REPRO_CACHE_SIZE`` (kept in sync
+    with :func:`repro.pipeline.cache._env_maxsize`; duplicated because
+    ``sets`` is a pipeline dependency and must not import it)."""
+    raw = os.environ.get("REPRO_CACHE_SIZE")
+    if not raw:
+        return default
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return default
+
+
+_CACHE_MAXSIZE = _env_maxsize(_DEFAULT_CACHE_MAXSIZE)
 _cache: "OrderedDict[Tuple, OptimizedAccess]" = OrderedDict()
 _cache_lock = threading.Lock()
 _cache_hits = 0
 _cache_misses = 0
+_cache_evictions = 0
 
 
 def table1_cache_info() -> Dict[str, int]:
     """Hit/miss/size counters for the Table I memo (monitoring/tests)."""
     with _cache_lock:
         return {"hits": _cache_hits, "misses": _cache_misses,
+                "evictions": _cache_evictions,
                 "size": len(_cache), "maxsize": _CACHE_MAXSIZE}
 
 
 def clear_table1_cache() -> None:
     """Drop every memoized access and reset the counters."""
-    global _cache_hits, _cache_misses
+    global _cache_hits, _cache_misses, _cache_evictions
     with _cache_lock:
         _cache.clear()
         _cache_hits = 0
         _cache_misses = 0
+        _cache_evictions = 0
 
 
 def _build_access(d: Decomposition, f: IFunc, imin: int, imax: int) -> OptimizedAccess:
@@ -233,8 +253,10 @@ def optimize_access(
             return hit
     acc = _build_access(d, f, imin, imax)
     with _cache_lock:
+        global _cache_evictions
         _cache_misses += 1
         _cache[key] = acc
-        if len(_cache) > _CACHE_MAXSIZE:
+        while len(_cache) > _CACHE_MAXSIZE:
             _cache.popitem(last=False)
+            _cache_evictions += 1
     return acc

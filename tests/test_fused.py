@@ -137,7 +137,7 @@ class TestKernelCache:
         assert kernel_cache_info()["size"] >= 1
         clear_plan_cache()
         assert kernel_cache_info() == {
-            "hits": 0, "misses": 0, "size": 0,
+            "hits": 0, "misses": 0, "evictions": 0, "size": 0,
             "maxsize": kernel_cache_info()["maxsize"], "enabled": True,
         }
 

@@ -423,3 +423,95 @@ class TestAllBackendsAgree:
             == msgs["mp"]
         # batching never changes what moves, only how it is packed
         assert msgs["vector"][1] == msgs["scalar"][1]
+
+    def _three_clause_program(self):
+        """D := f(A,B); E := g(D); F := h(E) with a redistribution
+        boundary at 1->2: E is produced under block but consumed under
+        scatter."""
+        from repro.core.clause import Program
+
+        c1 = Clause(
+            IndexSet(Bounds((0,), (N - 1,))),
+            Ref("D", SeparableMap([IdentityF()])),
+            Ref("A", SeparableMap([IdentityF()])) * 0.5
+            + Ref("B", SeparableMap([IdentityF()])),
+            name="c1",
+        )
+        c2 = Clause(
+            IndexSet(Bounds((1,), (N - 1,))),
+            Ref("E", SeparableMap([IdentityF()])),
+            Ref("D", SeparableMap([AffineF(1, -1)])) * 2.0,
+            name="c2",
+        )
+        c3 = Clause(
+            IndexSet(Bounds((0,), (N - 1,))),
+            Ref("F", SeparableMap([IdentityF()])),
+            Ref("E", SeparableMap([IdentityF()]))
+            + Ref("A", SeparableMap([IdentityF()])),
+            name="c3",
+        )
+        block = {n: Block(N, P) for n in "ABDEF"}
+        scatter = {n: Scatter(N, P) for n in "ABDEF"}
+        return Program([c1, c2, c3]), [block, block, scatter]
+
+    def test_program_backends_bit_identical(self):
+        """All five backends agree on a 3-clause program with a
+        redistribution boundary — with and without elision/fusion."""
+        from repro.pipeline import (
+            compile_program,
+            evaluate_program_reference,
+            run_program,
+        )
+
+        program, decs = self._three_clause_program()
+        rng = np.random.default_rng(12)
+        env0 = {n: rng.random(N) for n in "ABDEF"}
+        for fuse in (True, False):
+            for elide in (True, False):
+                pir = compile_program(program, decs, fuse=fuse,
+                                      elide=elide)
+                if elide:
+                    assert any(name == "E"
+                               for _, name, _ in pir.redistributions)
+                ref = evaluate_program_reference(pir, env0)
+                for backend in ("scalar", "vector", "overlap", "fused",
+                                "mp"):
+                    m, _ = run_program(pir, copy_env(env0),
+                                       backend=backend, processes=2)
+                    for name in "DEF":
+                        assert np.array_equal(m.env[name], ref[name]), \
+                            (backend, fuse, elide, name)
+
+    def test_pipelined_time_loop_backends_bit_identical(self):
+        """A pipelined repeat(steps) stencil loop with a U<->V swap is
+        bit-identical across all backends for both swap parities."""
+        from repro.core.clause import Program
+        from repro.pipeline import (
+            compile_program,
+            evaluate_program_reference,
+            run_program,
+        )
+
+        cl = Clause(
+            IndexSet(Bounds((1,), (N - 2,))),
+            Ref("V", SeparableMap([IdentityF()])),
+            (Ref("U", SeparableMap([AffineF(1, -1)]))
+             + Ref("U", SeparableMap([AffineF(1, 1)]))) * 0.5,
+            name="step",
+        )
+        program = Program([cl])
+        decomps = {"U": Block(N, P), "V": Block(N, P)}
+        rng = np.random.default_rng(13)
+        env0 = {"U": rng.random(N), "V": rng.random(N)}
+        for steps in (4, 7):
+            pir = compile_program(program, decomps, repeat=steps,
+                                  swap=(("U", "V"),))
+            assert pir.pipelined, pir.pipeline_reason
+            ref = evaluate_program_reference(pir, env0)
+            for backend in ("scalar", "vector", "overlap", "fused", "mp"):
+                m, barriers = run_program(pir, copy_env(env0),
+                                          backend=backend, processes=2)
+                assert barriers == steps
+                for name in "UV":
+                    assert np.array_equal(m.env[name], ref[name]), \
+                        (backend, steps, name)
