@@ -1,0 +1,294 @@
+"""Record native-tier (njit) results into BENCH_native.json.
+
+The E13 1-D stencil and the E19 2-D five-point stencil run under the
+fused backend and the native backend (``@njit``-compiled scalar-loop
+node kernels); a 1000-step pipelined E19 time loop runs through the
+program layer on the mp runtime, whose workers install the same native
+kernel.  JIT cost is recorded once per clause source (cold build) and
+shown against the warm kernel-cache hit that skips codegen *and* JIT.
+
+Asserted invariants (the issue's acceptance bar):
+
+* fused and native results are bit-identical on every row
+  (``identical_results`` true) — also when numba is absent and the
+  native entry points degrade to the fused tier with a trace note;
+* with numba present (``mode="njit"``), the *median* native-over-fused
+  wall-clock speedup on the large E19 grid is >= 5x;
+* a warm structural recompile reuses the native tier (no second JIT).
+
+Without numba the rows record ``native_available: false`` and the
+speedup gate is skipped — the benchmark then documents the degradation
+path rather than the win.
+
+``--smoke`` runs tiny sizes and few steps, checks bit-identity and the
+fallback/trace behaviour only, and writes no JSON (CI uses it).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_native.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from statistics import median
+
+import numpy as np
+
+from repro.codegen import compile_clause, run_distributed
+from repro.codegen.nddist import (
+    collect_nd,
+    compile_clause_nd_dist,
+    run_distributed_nd,
+)
+from repro.core import (
+    AffineF,
+    Bounds,
+    Clause,
+    Const,
+    IdentityF,
+    IndexSet,
+    Ref,
+    SeparableMap,
+    copy_env,
+)
+from repro.core.clause import Program
+from repro.core.expr import BinOp
+from repro.decomp import Block, GridDecomposition
+from repro.pipeline import (
+    clear_plan_cache,
+    compile_program,
+    ensure_native,
+    native_cache_info,
+    native_support,
+    run_program,
+)
+from repro.runtime import shutdown_runtime
+
+REPS = 9
+SEED = 2026
+PROCS = 4
+HEADLINE = "e19-grid-2d-large"
+HEADLINE_MIN_SPEEDUP = 5.0
+
+
+def _median_of(fn, reps=REPS):
+    times, out = [], None
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        out = fn()
+        times.append(time.perf_counter() - t0)
+    return median(times), out
+
+
+def _e13_clause(n):
+    return Clause(
+        domain=IndexSet.range1d(1, n - 2),
+        lhs=Ref("A", SeparableMap([AffineF(1, 0)])),
+        rhs=Ref("B", SeparableMap([AffineF(1, -1)]))
+        + Ref("B", SeparableMap([AffineF(1, 1)])),
+        name="e13",
+    )
+
+
+def _e19_clause(n):
+    def sref(di, dj):
+        fi = AffineF(1, di) if di else IdentityF()
+        fj = AffineF(1, dj) if dj else IdentityF()
+        return Ref("S", SeparableMap([fi, fj]))
+
+    return Clause(
+        IndexSet(Bounds((1, 1), (n - 2, n - 2))),
+        Ref("T", SeparableMap([IdentityF(), IdentityF()])),
+        BinOp("*", Const(0.25),
+              BinOp("+", BinOp("+", sref(-1, 0), sref(1, 0)),
+                    BinOp("+", sref(0, -1), sref(0, 1)))),
+        name="e19",
+    )
+
+
+def _e19_setup(n2, p_side=2):
+    g = GridDecomposition([Block(n2, p_side), Block(n2, p_side)])
+    rng = np.random.default_rng(SEED)
+    env = {"S": rng.random((n2, n2)), "T": np.zeros((n2, n2))}
+    return g, env
+
+
+def _single_clause_workloads(smoke):
+    """Yield (label, compile(), run(plan, backend), collect(machine))."""
+    n, pmax = (64, 4) if smoke else (512, 8)
+    rng = np.random.default_rng(SEED)
+    env13 = {"A": np.zeros(n), "B": rng.random(n)}
+    decomps = {"A": Block(n, pmax), "B": Block(n, pmax)}
+    yield ("e13-stencil-block/block",
+           lambda: compile_clause(_e13_clause(n), decomps),
+           lambda plan, backend: run_distributed(
+               plan, copy_env(env13), backend=backend),
+           lambda m: m.collect("A"))
+
+    for label, n2 in (("e19-grid-2d-small", 16 if smoke else 48),
+                      ("e19-grid-2d-large", 24 if smoke else 96)):
+        g, env19 = _e19_setup(n2)
+        yield (label,
+               lambda g=g, n2=n2: compile_clause_nd_dist(
+                   _e19_clause(n2), {"T": g, "S": g}),
+               lambda plan, backend, env19=env19: run_distributed_nd(
+                   plan, copy_env(env19), backend=backend),
+               lambda m: collect_nd(m, "T"))
+
+
+def _jit_timing(compile_fn):
+    """Cold native build (codegen + JIT) vs the warm kernel-cache hit a
+    structural recompile gets — the hit must reuse the compiled entry."""
+    clear_plan_cache()
+    plan = compile_fn()
+    sup = native_support()
+    if not sup.available:
+        return plan, None, None, None
+    t0 = time.perf_counter()
+    nat = ensure_native(plan.ir.kernels, plan.ir)
+    cold_ms = (time.perf_counter() - t0) * 1e3
+    warm_ms = float("inf")
+    for _ in range(REPS):
+        t0 = time.perf_counter()
+        warm_plan = compile_fn()
+        warm_nat = ensure_native(warm_plan.ir.kernels, warm_plan.ir)
+        warm_ms = min(warm_ms, (time.perf_counter() - t0) * 1e3)
+        assert warm_nat is nat, "warm recompile must reuse the native tier"
+    return plan, cold_ms, warm_ms, nat.jit_s * 1e3
+
+
+def _time_loop_row(smoke, failures):
+    """The 1000-step pipelined E19 time loop on the mp runtime, whose
+    workers run the native kernel when numba is present."""
+    steps = 20 if smoke else 1000
+    n2 = 24 if smoke else 96
+    g, env = _e19_setup(n2)
+    pir = compile_program(Program([_e19_clause(n2)]), {"T": g, "S": g},
+                          repeat=steps, swap=(("S", "T"),))
+    if not pir.pipelined:
+        failures.append(f"e19 time loop not pipelined: "
+                        f"{pir.pipeline_reason}")
+        return None
+    t_fused, m_fused = _median_of(
+        lambda: run_program(pir, copy_env(env), backend="fused")[0],
+        reps=3)
+    shutdown_runtime()  # fresh workers: install (and JIT) once, inside
+    t0 = time.perf_counter()
+    m_cold, _ = run_program(pir, copy_env(env), backend="mp",
+                            processes=PROCS)
+    t_cold = time.perf_counter() - t0
+    t_warm, m_warm = _median_of(
+        lambda: run_program(pir, copy_env(env), backend="mp",
+                            processes=PROCS)[0], reps=3)
+    identical = all(np.array_equal(m_fused.env[k], m_cold.env[k])
+                    and np.array_equal(m_fused.env[k], m_warm.env[k])
+                    for k in ("S", "T"))
+    if not identical:
+        failures.append("e19 time loop: mp/native differs from fused")
+    shutdown_runtime()
+    sup = native_support()
+    return {
+        "workload": "e19-time-loop-mp",
+        "steps": steps,
+        "processes": PROCS,
+        "pipelined": pir.pipelined,
+        "native_available": sup.available,
+        "native_mode": sup.mode,
+        "fused_s": round(t_fused, 6),
+        "mp_cold_s": round(t_cold, 6),
+        "mp_warm_s": round(t_warm, 6),
+        "steps_per_sec_mp_warm": round(steps / t_warm, 2),
+        "identical_results": identical,
+    }
+
+
+def main(argv=None) -> int:
+    smoke = "--smoke" in (argv if argv is not None else sys.argv[1:])
+    sup = native_support()
+    print(f"native tier: available={sup.available} mode={sup.mode} "
+          f"({sup.reason})")
+    clear_plan_cache()
+    rows, failures = [], []
+
+    for label, compile_fn, run, collect in _single_clause_workloads(smoke):
+        plan, jit_cold_ms, jit_warm_ms, jit_ms = _jit_timing(compile_fn)
+        t_f, m_f = _median_of(lambda: run(plan, "fused"))
+        t_n, m_n = _median_of(lambda: run(plan, "native"))
+        identical = bool(np.array_equal(collect(m_f), collect(m_n)))
+        if not identical:
+            failures.append(f"{label}: native differs from fused")
+        if not sup.available:
+            # the entry point must have degraded with a trace note
+            if not any("backend='native' fell back" in n
+                       for n in plan.trace.notes):
+                failures.append(f"{label}: no fallback trace note")
+        speedup = t_f / t_n if t_n else float("inf")
+        row = {
+            "workload": label,
+            "native_available": sup.available,
+            "native_mode": sup.mode,
+            "fused_ms": round(t_f * 1e3, 3),
+            "native_ms": round(t_n * 1e3, 3),
+            "native_over_fused_speedup": round(speedup, 2),
+            "identical_results": identical,
+        }
+        if jit_cold_ms is not None:
+            row["native_build_cold_ms"] = round(jit_cold_ms, 3)
+            row["native_build_warm_ms"] = round(jit_warm_ms, 3)
+            row["jit_ms"] = round(jit_ms, 3)
+        rows.append(row)
+        print(f"{label:28s} fused {row['fused_ms']:8.3f} ms  "
+              f"native {row['native_ms']:8.3f} ms "
+              f"({speedup:5.2f}x)  identical={identical}")
+        if (not smoke and sup.mode == "njit" and label == HEADLINE
+                and speedup < HEADLINE_MIN_SPEEDUP):
+            failures.append(
+                f"headline {label}: native speedup {speedup:.2f}x < "
+                f"{HEADLINE_MIN_SPEEDUP}x")
+
+    loop_row = _time_loop_row(smoke, failures)
+    if loop_row is not None:
+        rows.append(loop_row)
+        print(f"{loop_row['workload']:28s} steps={loop_row['steps']}  "
+              f"fused {loop_row['fused_s']:7.3f} s  "
+              f"mp warm {loop_row['mp_warm_s']:7.3f} s  "
+              f"identical={loop_row['identical_results']}")
+
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}")
+        return 1
+
+    if smoke:
+        print("smoke OK (no JSON written)")
+        return 0
+
+    out = {
+        "bench": "native",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "numpy": np.__version__,
+        "native_available": sup.available,
+        "native_mode": sup.mode,
+        "native_reason": sup.reason,
+        "numba_version": sup.version,
+        "reps": REPS,
+        "seed": SEED,
+        "headline_min_speedup": HEADLINE_MIN_SPEEDUP,
+        "native_cache": {k: v for k, v in native_cache_info().items()
+                         if k in ("builds", "hits", "failures", "jit_s")},
+        "rows": rows,
+    }
+    path = Path(__file__).resolve().parent.parent / "BENCH_native.json"
+    path.write_text(json.dumps(out, indent=2) + "\n")
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

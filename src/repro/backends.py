@@ -35,6 +35,8 @@ BACKENDS: "OrderedDict[str, str]" = OrderedDict((
     ("vector", "NumPy segment executor (batched messages)"),
     ("overlap", "vector + interior compute while messages are in flight"),
     ("fused", "compile-once fused node kernels, in-process"),
+    ("native", "numba-njit compiled node kernels (falls back to fused "
+               "when numba is absent)"),
     ("mp", "multi-process runtime: fused kernels on real OS processes"),
 ))
 

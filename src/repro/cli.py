@@ -157,18 +157,23 @@ def cmd_compile(args) -> int:
             print(plan.trace.pretty(verbose=args.verbose))
         backend = getattr(args, "backend", "scalar")
         kernels = getattr(getattr(plan, "ir", None), "kernels", None)
-        if backend in ("fused", "mp") and getattr(args, "explain", False):
+        if backend in ("fused", "native", "mp") \
+                and getattr(args, "explain", False):
             print()
             if kernels is not None:
                 print(f"# fused kernels — {kernels.describe()}")
                 print(kernels.source)
             else:
                 print("# no fused kernels on this plan")
+            if backend == "native":
+                _explain_native(plan, kernels)
         print()
-        if backend in ("fused", "mp"):
+        if backend in ("fused", "native", "mp"):
             if kernels is not None and kernels.dist is not None:
                 what = ("multi-process runtime executing the compile-once "
                         "node kernels" if backend == "mp"
+                        else "njit-compiled node kernels (fused fallback "
+                             "when numba is absent)" if backend == "native"
                         else "compile-once node kernels")
                 print(f"# {backend} backend: {what} "
                       "(see --explain for the generated source);")
@@ -200,10 +205,33 @@ def cmd_compile(args) -> int:
     return 0
 
 
+def _explain_native(plan, kernels) -> None:
+    """``compile --backend native --explain``: probe verdict plus the
+    generated scalar-loop kernel source (or the fallback reason)."""
+    from .pipeline import NativeBuildError, ensure_native, native_support
+
+    sup = native_support()
+    print(f"# native tier: available={sup.available} mode={sup.mode} "
+          f"({sup.reason})")
+    ir = getattr(plan, "ir", None)
+    if kernels is None or ir is None:
+        print("# native kernel unavailable: no fused kernels on this plan")
+        return
+    try:
+        nat = ensure_native(kernels, ir)
+    except NativeBuildError as e:
+        print(f"# native kernel unavailable ({e}); the fused tier runs")
+        return
+    print(f"# native kernels — {nat.describe()}")
+    print(nat.source)
+
+
 def print_cache_stats() -> None:
-    """One unified block: plan, Table I, kernel, and program caches."""
+    """One unified block: plan, Table I, kernel, native, and program
+    caches."""
     from .pipeline import (
         kernel_cache_info,
+        native_cache_info,
         plan_cache_info,
         program_cache_info,
     )
@@ -211,6 +239,7 @@ def print_cache_stats() -> None:
 
     pc, tc = plan_cache_info(), table1_cache_info()
     kc, gc = kernel_cache_info(), program_cache_info()
+    nc = native_cache_info()
     print("caches:")
     print(f"  plan:    hits={pc['hits']} misses={pc['misses']} "
           f"evictions={pc['evictions']} "
@@ -221,6 +250,10 @@ def print_cache_stats() -> None:
     print(f"  kernel:  hits={kc['hits']} misses={kc['misses']} "
           f"evictions={kc['evictions']} "
           f"size={kc['size']}/{kc['maxsize']} enabled={kc['enabled']}")
+    print(f"  native:  builds={nc['builds']} hits={nc['hits']} "
+          f"failures={nc['failures']} disposed={nc['disposed']} "
+          f"jit={nc['jit_s'] * 1e3:.1f}ms mode={nc['mode']} "
+          f"available={nc['available']}")
     print(f"  program: hits={gc['hits']} misses={gc['misses']} "
           f"evictions={gc['evictions']} "
           f"size={gc['size']}/{gc['maxsize']} enabled={gc['enabled']}")
@@ -295,6 +328,13 @@ def cmd_run(args) -> int:
     show_stats = getattr(args, "stats", False)
     steps = max(1, getattr(args, "steps", 1) or 1)
     swap = _parse_swap(getattr(args, "swap", []))
+    if args.backend == "native":
+        from .pipeline import native_support
+
+        sup = native_support()
+        if not sup.available:
+            print(f"note: native tier unavailable ({sup.reason}); "
+                  "running the fused fallback", file=sys.stderr)
     if args.shared:
         from .pipeline import (
             compile_program,
@@ -414,12 +454,15 @@ def build_parser() -> argparse.ArgumentParser:
                            "snapshots per pass")
     comp.add_argument("--backend", default="scalar", metavar="BACKEND",
                       help="flavor of emitted node program, one of: "
-                           f"{', '.join(backend_names())} (fused/mp show "
-                           "the compile-once kernel source with --explain)")
+                           f"{', '.join(backend_names())} (fused/native/mp "
+                           "show the compile-once kernel source with "
+                           "--explain; native adds the njit scalar loop "
+                           "and the probe verdict)")
     comp.add_argument("--cache-stats", action="store_true",
                       help="print one unified block of plan-, Table I "
-                           "enumerator-, kernel-, and program-cache "
-                           "hit/miss/eviction counters after compiling")
+                           "enumerator-, kernel-, native- (JIT time), and "
+                           "program-cache hit/miss/eviction counters "
+                           "after compiling")
     comp.add_argument("--steps", type=int, default=1, metavar="N",
                       help="compile the program as an N-iteration time "
                            "loop (repeat form; shows the pipelining "
@@ -452,11 +495,14 @@ def build_parser() -> argparse.ArgumentParser:
                           "per-element templates, the NumPy vectorized "
                           "segment executor, the overlapped "
                           "interior/boundary executor, the compile-once "
-                          "fused kernel executor, or the multi-process "
-                          "runtime (real OS processes + shared memory)")
+                          "fused kernel executor, the numba-njit native "
+                          "executor (fused fallback when numba is "
+                          "absent), or the multi-process runtime (real "
+                          "OS processes + shared memory)")
     run.add_argument("--strict", action="store_true",
-                     help="with --backend fused/mp: refuse to execute "
-                          "clauses the static verifier flagged RACE*/COMM*")
+                     help="with --backend fused/native/mp: refuse to "
+                          "execute clauses the static verifier flagged "
+                          "RACE*/COMM*")
     run.add_argument("--processes", type=int, default=None, metavar="N",
                      help="with --backend mp: worker process count "
                           "(default: min(pmax, 8); nodes are multiplexed "

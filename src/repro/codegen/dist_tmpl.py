@@ -156,7 +156,10 @@ def run_distributed(
     the `lower-kernels` pass — precomputed flat gather/scatter index
     arrays and a generated fused expression, with the interior kernel
     overlapping communication — falling back to the vector path (trace
-    note) when the plan has no fused form.  Replicated writes (a
+    note) when the plan has no fused form; ``backend="native"`` runs the
+    same schedule with the njit-compiled scalar-loop kernel, degrading
+    to the fused path (trace note) when numba is absent or the plan has
+    no native form.  Replicated writes (a
     per-copy broadcast) keep the scalar path.  *model* is an optional
     :class:`~repro.machine.channels.LatencyModel` attached to a newly
     created machine (virtual-time accounting only).  *strict* makes a
@@ -195,6 +198,26 @@ def run_distributed(
                 why = str(err)
         if trace is not None:
             trace.note(f"backend='mp' fell back to the fused path: {why}")
+        backend = "fused"
+    if backend == "native":
+        trace = getattr(plan, "trace", None)
+        if ir is not None and not plan.write_replicated:
+            from ..machine.native import run_distributed_native
+            from ..pipeline.native import NativeBuildError
+
+            try:
+                return run_distributed_native(ir, env, machine, model=model,
+                                              strict=strict)
+            except NativeBuildError as err:
+                if trace is not None:
+                    trace.note("backend='native' fell back to the fused "
+                               f"path: {err}")
+            except DeadlockError as err:
+                raise annotate_deadlock(err, ir)
+        elif trace is not None:
+            why = ("replicated write (per-copy broadcast)"
+                   if plan.write_replicated else "plan carries no IR")
+            trace.note(f"backend='native' fell back to the fused path: {why}")
         backend = "fused"
     if backend == "fused" and ir is not None and not plan.write_replicated:
         kernels = getattr(ir, "kernels", None)

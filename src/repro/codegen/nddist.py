@@ -278,6 +278,25 @@ def run_distributed_nd(
         if trace is not None:
             trace.note(f"backend='mp' fell back to the fused path: {why}")
         backend = "fused"
+    if backend == "native":
+        if plan.ir is not None:
+            from ..machine.native import run_distributed_native
+            from ..pipeline.native import NativeBuildError
+
+            try:
+                return run_distributed_native(plan.ir, env, machine,
+                                              model=model, strict=strict)
+            except NativeBuildError as err:
+                trace = getattr(plan, "trace", None)
+                if trace is not None:
+                    trace.note("backend='native' fell back to the fused "
+                               f"path: {err}")
+        else:
+            trace = getattr(plan, "trace", None)
+            if trace is not None:
+                trace.note("backend='native' fell back to the fused path: "
+                           "plan carries no IR")
+        backend = "fused"
     if backend == "fused" and plan.ir is not None:
         kernels = getattr(plan.ir, "kernels", None)
         if kernels is not None and kernels.dist is not None:

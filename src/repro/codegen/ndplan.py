@@ -126,14 +126,16 @@ def run_shared_nd(
     ``backend="vector"`` runs ``//`` clauses through the NumPy segment
     executor; ``backend="fused"`` runs the compile-once node kernels
     (falling back to the vector executor when the plan has none);
-    ``backend="mp"`` runs those kernels on real worker processes
+    ``backend="native"`` runs the njit-compiled scalar-loop kernels
+    (falling back to fused when numba is absent or the plan has no
+    native form); ``backend="mp"`` runs those kernels on real worker processes
     (falling back to fused when the plan has no mp form);
     • clauses (a serial chain) always take the scalar path.
     """
     from ..backends import validate_backend
 
     validate_backend(
-        backend, allowed=("scalar", "vector", "fused", "mp"),
+        backend, allowed=("scalar", "vector", "fused", "native", "mp"),
         context="run_shared_nd")
     clause = plan.clause
     if machine is None:
@@ -150,6 +152,20 @@ def run_shared_nd(
                 trace = getattr(plan, "trace", None)
                 if trace is not None:
                     trace.note("backend='mp' fell back to the fused "
+                               f"path: {err}")
+        backend = "fused"
+
+    if backend == "native":
+        if plan.ir is not None and clause.ordering is Ordering.PAR:
+            from ..machine.native import run_shared_native
+            from ..pipeline.native import NativeBuildError
+
+            try:
+                return run_shared_native(plan.ir, env, machine)
+            except NativeBuildError as err:
+                trace = getattr(plan, "trace", None)
+                if trace is not None:
+                    trace.note("backend='native' fell back to the fused "
                                f"path: {err}")
         backend = "fused"
 

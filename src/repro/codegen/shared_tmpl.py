@@ -69,7 +69,11 @@ def run_shared(
     runs the compile-once node kernels attached by the `lower-kernels`
     pass (falling back to the vector path, with a trace note, when the
     plan has no fused form); *strict* makes a fused run refuse clauses
-    the static verifier flagged RACE*/COMM*.  ``backend="mp"`` executes
+    the static verifier flagged RACE*/COMM*.  ``backend="native"`` runs
+    the njit-compiled scalar-loop kernels of
+    :mod:`repro.pipeline.native`, degrading to the fused path with a
+    trace note when numba is absent or the plan has no native form.
+    ``backend="mp"`` executes
     those same kernels on the real worker processes of
     :mod:`repro.runtime` (*processes*/*timeout* apply there), falling
     back to the fused path when the plan has no mp form.
@@ -102,6 +106,27 @@ def run_shared(
             trace.note("backend='overlap' on shared memory: no messages "
                        "to overlap; running the vector backend")
         backend = "vector"
+    if backend == "native":
+        ir = getattr(plan, "ir", None)
+        if ir is not None and plan.clause.ordering is Ordering.PAR:
+            from ..machine.native import run_shared_native
+            from ..pipeline.native import NativeBuildError
+
+            try:
+                return run_shared_native(ir, env, machine, strict=strict)
+            except NativeBuildError as err:
+                trace = getattr(plan, "trace", None)
+                if trace is not None:
+                    trace.note("backend='native' fell back to the fused "
+                               f"path: {err}")
+        else:
+            trace = getattr(plan, "trace", None)
+            if trace is not None:
+                why = ("plan carries no IR" if ir is None else
+                       "sequential (•) clause is a serial chain")
+                trace.note(f"backend='native' fell back to the fused "
+                           f"path: {why}")
+        backend = "fused"
     if backend == "fused":
         ir = getattr(plan, "ir", None)
         kernels = getattr(ir, "kernels", None) if ir is not None else None

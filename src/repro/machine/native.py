@@ -1,0 +1,237 @@
+"""Native-tier executors (``backend="native"``).
+
+Same schedule and counters as the fused executors
+(:mod:`repro.machine.fused`) — one precomputed gather per read, the
+interior kernel overlapping communication on the distributed machine,
+commits in node order against pre-state — but the per-lane-set
+compute+commit is one call into the njit-compiled scalar loop built by
+:mod:`repro.pipeline.native`: no NumPy temporaries, no per-op Python
+dispatch, guard and scatter folded into the native loop.
+
+Bit-identity with every other backend is part of the contract
+(``TestAllBackendsAgree``): value vectors are materialized float64
+*before* any commit, the scalar loop evaluates the identical IEEE-754
+expression tree per lane, and duplicate store keys resolve
+last-lane-wins exactly like the fancy-indexed NumPy store.
+
+Plans with no native form — numba absent, unrenderable expressions,
+non-contiguous write buffers — raise
+:class:`~repro.pipeline.native.NativeBuildError`, which the dispatchers
+catch to fall back to the fused tier with a trace note.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..core.clause import Ordering
+from ..pipeline.native import NativeBuildError, ensure_native
+from .distributed import DistributedMachine, NodeContext
+from .fused import check_strict
+from .shared import SharedMachine
+from .vectorize import _place_env
+
+__all__ = [
+    "native_kernels_for",
+    "run_shared_native",
+    "run_group_native",
+    "make_native_node_program",
+    "run_distributed_native",
+]
+
+
+def native_kernels_for(ir, flavor: str):
+    """Resolve (fused kernels, native tier) for one flavor or raise
+    :class:`NativeBuildError` with the fallback reason."""
+    k = getattr(ir, "kernels", None)
+    if k is None:
+        raise NativeBuildError(
+            "plan carries no fused kernels (lower-kernels fallback)")
+    nodes = k.shared if flavor == "shared" else k.dist
+    if nodes is None:
+        note = k.shared_note if flavor == "shared" else k.dist_note
+        raise NativeBuildError(note or "no kernels for this flavor")
+    nat = ensure_native(k, ir)
+    return k, nat
+
+
+def _gather_rows(nreads: int, n: int) -> np.ndarray:
+    """The kernel's stacked read-value rows (``float64[nreads, n]``)."""
+    return np.empty((max(nreads, 0), n), dtype=np.float64)
+
+
+# ---------------------------------------------------------------------------
+# shared-memory native executor
+# ---------------------------------------------------------------------------
+
+def run_shared_native(
+    ir,
+    env: Dict[str, np.ndarray],
+    machine: Optional[SharedMachine] = None,
+    strict: bool = False,
+) -> SharedMachine:
+    """Execute a ``//`` clause with the njit kernel: gather every node's
+    read rows against pre-state first, then one native compute+scatter
+    call per node in node order — phase semantics identical to the
+    fused/vector executors."""
+    if ir.clause.ordering is not Ordering.PAR:
+        raise NativeBuildError("the native executor handles // clauses")
+    check_strict(ir, strict)
+    k, nat = native_kernels_for(ir, "shared")
+    if machine is None:
+        machine = SharedMachine(ir.pmax, env)
+    genv = machine.env
+    target = genv[k.write_name]
+    if not target.flags.c_contiguous:
+        raise NativeBuildError(
+            f"write target {k.write_name!r} is not C-contiguous; the "
+            "native scatter needs a flat view")
+    if target.dtype != np.float64:
+        raise NativeBuildError(
+            f"write target {k.write_name!r} is {target.dtype}; the njit "
+            "signature stores float64")
+    out = target.reshape(-1)
+
+    pending = []
+    for p, nk in enumerate(k.shared):
+        machine.stats[p].iterations += nk.n
+        if nk.n == 0:
+            pending.append((p, None))
+            continue
+        rows = _gather_rows(k.nreads, nk.n)
+        for pos, (name, key) in enumerate(nk.read_keys):
+            rows[pos] = genv[name][key]
+        pending.append((p, rows))
+
+    for p, rows in pending:
+        machine.stats[p].barriers += 1
+        if rows is None:
+            continue
+        node = nat.shared[p]
+        stored = nat.entry(node.idx2, rows, node.lanes,
+                           node.scatter_for(target.shape), out)
+        machine.stats[p].local_updates += int(stored)
+    return machine
+
+
+def run_group_native(irs, machine: SharedMachine) -> SharedMachine:
+    """Execute a fused clause group with the njit kernels: the same
+    node-major walk as :func:`~repro.machine.fused.run_group_fused`
+    (node p runs every clause of the group before node p+1 starts),
+    with each clause's gather/compute/commit one native call."""
+    genv = machine.env
+    for p in range(machine.pmax):
+        for ir in irs:
+            k = ir.kernels
+            nat = k.native
+            if p >= len(k.shared):
+                continue
+            nk = k.shared[p]
+            machine.stats[p].iterations += nk.n
+            if nk.n == 0:
+                continue
+            rows = _gather_rows(k.nreads, nk.n)
+            for pos, (name, key) in enumerate(nk.read_keys):
+                rows[pos] = genv[name][key]
+            target = genv[k.write_name]
+            node = nat.shared[p]
+            stored = nat.entry(node.idx2, rows, node.lanes,
+                               node.scatter_for(target.shape),
+                               target.reshape(-1))
+            machine.stats[p].local_updates += int(stored)
+    for p in range(machine.pmax):
+        machine.stats[p].barriers += 1
+    return machine
+
+
+# ---------------------------------------------------------------------------
+# distributed native executor (overlap schedule, njit interior kernel)
+# ---------------------------------------------------------------------------
+
+def make_native_node_program(ir, ctx: NodeContext):
+    """The fused overlap schedule with the njit kernel doing every
+    compute+commit: post sends, post non-blocking receives, run the
+    native *interior* kernel while messages are in flight, drain, then
+    the native *boundary* kernel."""
+    k = ir.kernels
+    nat = k.native
+    nk = k.dist[ctx.p]
+    nnode = nat.dist[ctx.p]
+
+    def program():
+        # ---- send phase: identical to fused ------------------------------
+        for s in nk.sends:
+            ctx.stats.iterations += s.count
+            buf = ctx.mem[s.name].ravel()
+            for q, gidx in s.peers:
+                ctx.send(q, ("fus", s.pos), buf[gidx])
+
+        # ---- update phase -------------------------------------------------
+        n = nk.n
+        ctx.stats.iterations += n
+        if n:
+            rows = _gather_rows(k.nreads, n)
+            pending = []  # (handle, row view, lane positions to fill)
+            for r in nk.reads:
+                if r.replicated:
+                    rows[r.pos] = ctx.mem[r.name].ravel()[r.rep_gather]
+                    continue
+                row = rows[r.pos]
+                if r.local_pos.size:
+                    row[r.local_pos] = \
+                        ctx.mem[r.name].ravel()[r.local_gather]
+                for src, fill in r.sources:
+                    handle = yield ctx.irecv(src, ("fus", r.pos))
+                    pending.append((handle, row, fill))
+
+            wbuf = ctx.mem[k.write_name].ravel()
+
+            def commit(idx2, lanes, scatter):
+                if not lanes.size:
+                    return
+                stored = nat.entry(idx2, rows, lanes, scatter, wbuf)
+                ctx.stats.local_updates += int(stored)
+
+            # native interior kernel while messages are in flight
+            ctx.charge_elements(int(nk.interior.size))
+            commit(nnode.idx2_interior, nk.interior, nk.scatter_interior)
+
+            while pending:
+                done = yield ctx.probe([h for h, _, _ in pending])
+                i = next(j for j, (h, _, _) in enumerate(pending)
+                         if h is done)
+                _, row, fill = pending.pop(i)
+                row[fill] = np.asarray(
+                    ctx.note_received(done.payload), dtype=np.float64)
+
+            ctx.charge_elements(int(nk.boundary.size))
+            commit(nnode.idx2_boundary, nk.boundary, nk.scatter_boundary)
+
+        yield ctx.barrier()
+
+    return program()
+
+
+def run_distributed_native(
+    ir,
+    env: Dict[str, np.ndarray],
+    machine: Optional[DistributedMachine] = None,
+    model=None,
+    strict: bool = False,
+) -> DistributedMachine:
+    """Place *env*, run the native node programs, return the machine."""
+    if ir.clause.ordering is not Ordering.PAR:
+        raise NativeBuildError("the native executor handles // clauses")
+    if ir.write.replicated:
+        raise NativeBuildError("replicated write (per-copy broadcast)")
+    check_strict(ir, strict)
+    # node memories are always float64 (DistributedMachine.place), so no
+    # dtype guard is needed on this flavor
+    native_kernels_for(ir, "dist")
+    if machine is None:
+        machine = DistributedMachine(ir.pmax, model=model)
+        _place_env(ir, env, machine)
+    machine.run(lambda ctx: make_native_node_program(ir, ctx))
+    return machine

@@ -189,6 +189,11 @@ class FusedKernels:
     dist: Optional[List[DistNodeKernel]] = None
     dist_note: Optional[str] = None
     build_notes: List[str] = field(default_factory=list)
+    #: native (njit) tier riding on the same cache entry — built lazily
+    #: by :func:`repro.pipeline.native.ensure_native`; a build failure is
+    #: cached in ``native_note`` so the fallback reason is stable.
+    native: Optional[object] = None
+    native_note: Optional[str] = None
 
     def describe(self) -> str:
         parts = []
@@ -389,6 +394,14 @@ def build_kernels(ir) -> FusedKernels:
 _DEFAULT_MAXSIZE = 256
 
 
+def _dispose_native_tier(kernels: FusedKernels) -> None:
+    """Drop the native (njit) artifacts riding on an evicted entry so
+    the dispatcher and its compiled machine code can be collected."""
+    from .native import dispose_native  # local: kernels <- native cycle
+
+    dispose_native(kernels)
+
+
 class KernelCache:
     """Thread-safe LRU cache of :class:`FusedKernels`, keyed by the plan
     cache's structural keys — warm recompiles skip codegen entirely."""
@@ -414,19 +427,26 @@ class KernelCache:
             return k
 
     def store(self, key: tuple, kernels: FusedKernels) -> None:
+        dropped = []
         with self._lock:
             self._entries[key] = kernels
             self._entries.move_to_end(key)
             while len(self._entries) > self.maxsize:
-                self._entries.popitem(last=False)
+                _, evicted = self._entries.popitem(last=False)
                 self.evictions += 1
+                dropped.append(evicted)
+        for evicted in dropped:
+            _dispose_native_tier(evicted)
 
     def clear(self) -> None:
         with self._lock:
+            dropped = list(self._entries.values())
             self._entries.clear()
             self.hits = 0
             self.misses = 0
             self.evictions = 0
+        for evicted in dropped:
+            _dispose_native_tier(evicted)
 
     def info(self) -> Dict[str, object]:
         with self._lock:

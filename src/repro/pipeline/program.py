@@ -600,7 +600,7 @@ def _run_step(st: ProgramStep, machine: SharedMachine, backend: str,
     if st.nd:
         from ..codegen.ndplan import run_shared_nd
 
-        if strict and backend in ("fused", "mp"):
+        if strict and backend in ("fused", "native", "mp"):
             from ..machine.fused import check_strict
 
             check_strict(st.ir, True)
@@ -651,6 +651,23 @@ def _run_group(pir: ProgramIR, group: List[int], machine: SharedMachine,
         if strict:
             for ir in irs:
                 check_strict(ir, True)
+        if backend == "native":
+            from ..machine.native import run_group_native
+            from .native import NativeBuildError, ensure_native
+
+            try:
+                for ir in irs:
+                    ensure_native(ir.kernels, ir)
+                    t = machine.env[ir.kernels.write_name]
+                    if not t.flags.c_contiguous or t.dtype != np.float64:
+                        raise NativeBuildError(
+                            f"write target {ir.kernels.write_name!r} has "
+                            "no contiguous float64 flat view")
+                run_group_native(irs, machine)
+                return
+            except NativeBuildError as err:
+                pir.trace.note("backend='native' clause group fell back "
+                               f"to the fused walk: {err}")
         run_group_fused(irs, machine)
         return
     if backend != "scalar":

@@ -114,13 +114,17 @@ class MpProgram:
     nodes: tuple = ()
     pmax: int = 0
     decomps: Dict[str, object] = field(default_factory=dict)
+    #: njit-compilable scalar-loop source (None when the clause has no
+    #: native rendering); each worker probes numba on install and
+    #: compiles this once, falling back to the NumPy kernel otherwise
+    native_source: object = None
 
     def payload_for(self, rank: int, nprocs: int) -> tuple:
         """The install message for one worker: only its own nodes
         (round-robin ``node % nprocs``) ride the pipe."""
         mine = tuple(nd for nd in self.nodes if nd.p % nprocs == rank)
         return (self.token, self.flavor, self.source, self.nreads,
-                self.write_name, mine)
+                self.write_name, mine, self.native_source)
 
 
 def _i64(a) -> np.ndarray:
@@ -136,6 +140,19 @@ def _key(acc, idx_vecs) -> tuple:
 
 def _empty_key(acc) -> tuple:
     return tuple(np.zeros(0, dtype=np.int64) for _ in acc.funcs)
+
+
+def _native_source_of(ir):
+    """The clause's njit-compilable scalar-loop source, or ``None`` when
+    it has no native rendering (the worker then keeps the NumPy kernel).
+    Rendering is pure codegen — numba availability is probed worker-side
+    at install time, not here."""
+    from ..pipeline.native import NativeBuildError, render_native_source
+
+    try:
+        return render_native_source(ir.clause)
+    except NativeBuildError:
+        return None
 
 
 def _kernels_of(ir):
@@ -193,6 +210,7 @@ def _build_shared(ir, k) -> MpProgram:
         token=next(_TOKENS), flavor="shared", source=k.source,
         nreads=k.nreads, write_name=k.write_name,
         array_names=tuple(sorted(names)), nodes=tuple(nodes), pmax=ir.pmax,
+        native_source=_native_source_of(ir),
     )
 
 
@@ -296,6 +314,7 @@ def _build_dist(ir, k) -> MpProgram:
         nreads=k.nreads, write_name=ir.write.name,
         array_names=tuple(sorted(names)), nodes=tuple(nodes),
         pmax=ir.pmax, decomps=decomps,
+        native_source=_native_source_of(ir),
     )
 
 

@@ -51,6 +51,8 @@ class RuntimeStats:
     recv_count: int = 0
     recv_bytes: int = 0
     total_s: float = 0.0
+    #: the worker ran the njit (or interp-mode) native kernel this run
+    native: bool = False
 
     def as_dict(self) -> Dict[str, object]:
         return asdict(self)
@@ -58,7 +60,8 @@ class RuntimeStats:
     def describe(self) -> str:
         return (
             f"worker {self.rank} (pid {self.pid}): "
-            f"nodes {list(self.nodes)}  "
+            f"nodes {list(self.nodes)}"
+            + ("  [native]" if self.native else "") + "  "
             f"kernel {self.kernel_s * 1e3:.2f} ms  "
             f"barrier {self.barrier_s * 1e3:.2f} ms  "
             f"sent {self.send_count} msg / {self.send_bytes} B  "

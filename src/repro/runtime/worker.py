@@ -65,12 +65,30 @@ def _compile_kernel(source: str):
 
 
 class _Installed:
-    """One installed program on this worker: compiled kernel + my nodes."""
+    """One installed program on this worker: compiled kernel + my nodes.
+
+    When the payload carries a native scalar-loop source and this
+    worker's numba probe succeeds, the njit dispatcher is compiled here
+    — once per install, so pipelined time loops never pay JIT in the hot
+    path — and ``_commit`` routes through it; any probe or compile
+    failure silently keeps the NumPy kernel (same results, the parent's
+    trace already notes availability)."""
 
     def __init__(self, payload):
         (self.token, self.flavor, self.source, self.nreads,
-         self.write_name, self.my_nodes) = payload
+         self.write_name, self.my_nodes, native_source) = payload
         self.rhs, self.guard = _compile_kernel(self.source)
+        self.native_entry = None
+        self.native_jit_s = 0.0
+        if native_source is not None:
+            from ..pipeline.native import compile_native_entry, native_support
+
+            if native_support().available:
+                try:
+                    self.native_entry, self.native_jit_s = \
+                        compile_native_entry(native_source)
+                except Exception:
+                    self.native_entry = None
 
 
 def _zero_counts() -> Dict[str, int]:
@@ -83,14 +101,49 @@ def _index(key: tuple):
     return key if len(key) > 1 else key[0]
 
 
-def _commit(inst, node, rvals, lanes, idx_sub, wkey, target, count):
-    """Fused kernel + global scatter over one lane set (mirrors the
-    fused executors' commit, with global write keys)."""
-    from ..machine.vectorize import _as_value_vec
+def _flat(key: tuple, shape) -> np.ndarray:
+    """Flatten a global multi-dim index key against *shape*."""
+    if len(key) == 1:
+        return np.ascontiguousarray(key[0], dtype=np.int64)
+    if key[0].size == 0:
+        return np.zeros(0, dtype=np.int64)
+    return np.ravel_multi_index(key, shape).astype(np.int64, copy=False)
 
+
+def _native_node_data(node, which, idx_sub, wkey, shape):
+    """The native entry's stacked index + flat scatter arrays for one
+    lane set, cached on the (worker-local, unpickled) node object —
+    computed once per install regardless of step count."""
+    cache = getattr(node, "_native_cache", None)
+    if cache is None:
+        cache = node._native_cache = {}
+    entry = cache.get(which)
+    if entry is None or entry[0] != shape:
+        idx2 = (np.ascontiguousarray(np.stack(
+                    [np.asarray(v, dtype=np.int64) for v in idx_sub]))
+                if idx_sub else np.zeros((1, 0), dtype=np.int64))
+        entry = cache[which] = (shape, idx2, _flat(wkey, shape))
+    return entry[1], entry[2]
+
+
+def _commit(inst, node, rvals, lanes, idx_sub, wkey, target, count,
+            which):
+    """Kernel + global scatter over one lane set (mirrors the fused
+    executors' commit, with global write keys).  With an installed
+    native entry the whole gather/guard/compute/scatter is one call into
+    the njit scalar loop; otherwise the NumPy kernel runs."""
     m = int(lanes.size)
     if not m:
         return
+    if inst.native_entry is not None:
+        idx2, scatter = _native_node_data(node, which, idx_sub, wkey,
+                                          target.shape)
+        stored = inst.native_entry(idx2, rvals, lanes, scatter,
+                                   target.reshape(-1))
+        count["local_updates"] += int(stored)
+        return
+    from ..machine.vectorize import _as_value_vec
+
     sub_r = [v[lanes] for v in rvals]
     values = _as_value_vec(inst.rhs(idx_sub, sub_r), m)
     if inst.guard is not None:
@@ -100,6 +153,20 @@ def _commit(inst, node, rvals, lanes, idx_sub, wkey, target, count):
         values = values[mask]
     target[_index(wkey)] = values
     count["local_updates"] += int(values.size)
+
+
+def _send_buf(node, pos, q, key, shape):
+    """The reusable payload buffer + flat gather index for one
+    (node, read, peer) send, cached on the worker-local node object."""
+    cache = getattr(node, "_send_bufs", None)
+    if cache is None:
+        cache = node._send_bufs = {}
+    entry = cache.get((pos, q))
+    if entry is None or entry[0] != shape:
+        flat = _flat(key, shape)
+        entry = cache[(pos, q)] = (
+            shape, np.empty(flat.size, dtype=np.float64), flat)
+    return entry[1], entry[2]
 
 
 def _run_clause(inst, rid, arrays, remaining, rank, nprocs, inboxes,
@@ -114,6 +181,12 @@ def _run_clause(inst, rid, arrays, remaining, rank, nprocs, inboxes,
     first = inst.my_nodes[0].p if inst.my_nodes else -1
 
     # ---- send phase -----------------------------------------------------
+    # Payload buffers are reused across steps of a pipelined loop (and
+    # across runs): between two uses of the same (node, read, peer)
+    # buffer sits at least one global pre-commit barrier that every
+    # worker only passes after the previous message was drained — i.e.
+    # fully pickled off this buffer by the queue's feeder thread — so
+    # depth-1 reuse can never corrupt an in-flight message.
     for node in inst.my_nodes:
         set_phase(PH_SEND, node.p)
         c = counts[node.p]
@@ -121,34 +194,33 @@ def _run_clause(inst, rid, arrays, remaining, rank, nprocs, inboxes,
             c["iterations"] += s.count
             src_arr = arrays[s.name]
             for q, key in s.peers:
-                payload = np.ascontiguousarray(
-                    src_arr[_index(key)], dtype=np.float64)
-                inboxes[q % nprocs].put((rid, q, node.p, s.pos, payload))
+                buf, flat = _send_buf(node, s.pos, q, key, src_arr.shape)
+                np.take(src_arr.reshape(-1), flat, out=buf)
+                inboxes[q % nprocs].put((rid, q, node.p, s.pos, buf))
                 c["sends"] += 1
-                c["elements_sent"] += int(payload.size)
+                c["elements_sent"] += int(buf.size)
                 stats.send_count += 1
-                stats.send_bytes += int(payload.nbytes)
+                stats.send_bytes += int(buf.nbytes)
 
     # ---- gather phase ---------------------------------------------------
     rvals_by = {}
-    missing = {}  # (dst node, src node, read pos) -> (vals, fill lanes)
+    missing = {}  # (dst node, src node, read pos) -> (row view, fill lanes)
     for node in inst.my_nodes:
         set_phase(PH_GATHER, node.p)
         counts[node.p]["iterations"] += node.n
         if node.n == 0:
             continue
-        rvals = [None] * inst.nreads
+        # stacked float64[nreads, n] — row views fill in place, and the
+        # whole block is what a native entry consumes as `_r`
+        rvals = np.empty((max(inst.nreads, 0), node.n), dtype=np.float64)
         for r in node.reads:
+            vals = rvals[r.pos]
             if r.local_pos is None:
-                vals = np.asarray(arrays[r.name][_index(r.local_key)],
-                                  dtype=np.float64)
-            else:
-                vals = np.empty(node.n, dtype=np.float64)
-                if r.local_pos.size:
-                    vals[r.local_pos] = arrays[r.name][_index(r.local_key)]
+                vals[:] = arrays[r.name][_index(r.local_key)]
+            elif r.local_pos.size:
+                vals[r.local_pos] = arrays[r.name][_index(r.local_key)]
             for src, fill in r.sources:
                 missing[(node.p, src, r.pos)] = (vals, fill)
-            rvals[r.pos] = vals
         rvals_by[node.p] = rvals
 
     # ---- pre-commit barrier ---------------------------------------------
@@ -166,7 +238,7 @@ def _run_clause(inst, rid, arrays, remaining, rank, nprocs, inboxes,
             set_phase(PH_INTERIOR, node.p)
             _commit(inst, node, rvals_by[node.p], node.interior,
                     node.idx_interior, node.wkey_interior,
-                    arrays[inst.write_name], counts[node.p])
+                    arrays[inst.write_name], counts[node.p], "int")
     stats.kernel_s += time.perf_counter() - t0
 
     # ---- drain ----------------------------------------------------------
@@ -208,7 +280,7 @@ def _run_clause(inst, rid, arrays, remaining, rank, nprocs, inboxes,
             set_phase(PH_BOUNDARY, node.p)
             _commit(inst, node, rvals_by[node.p], node.boundary,
                     node.idx_boundary, node.wkey_boundary,
-                    arrays[inst.write_name], counts[node.p])
+                    arrays[inst.write_name], counts[node.p], "bnd")
     stats.kernel_s += time.perf_counter() - t0
 
 
@@ -229,7 +301,8 @@ def _run(inst, run_id, arrays, timeout, fault_delay, rank, nprocs,
          inboxes, barrier, set_phase):
     t_start = time.perf_counter()
     stats = RuntimeStats(rank=rank, pid=os.getpid(),
-                         nodes=tuple(nd.p for nd in inst.my_nodes))
+                         nodes=tuple(nd.p for nd in inst.my_nodes),
+                         native=inst.native_entry is not None)
     counts = {nd.p: _zero_counts() for nd in inst.my_nodes}
     remaining = _make_remaining(rank, timeout)
 
@@ -262,7 +335,9 @@ def _run_seq(insts, run_id, arrays, steps, swap, flags, timeout,
     parent maps segment names back accordingly)."""
     t_start = time.perf_counter()
     nodes = sorted({nd.p for inst in insts for nd in inst.my_nodes})
-    stats = RuntimeStats(rank=rank, pid=os.getpid(), nodes=tuple(nodes))
+    stats = RuntimeStats(rank=rank, pid=os.getpid(), nodes=tuple(nodes),
+                         native=any(inst.native_entry is not None
+                                    for inst in insts))
     counts = {p: _zero_counts() for p in nodes}
     remaining = _make_remaining(rank, timeout)
     stash: Dict[tuple, list] = {}

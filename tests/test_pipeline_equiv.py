@@ -365,13 +365,18 @@ class TestFallbacks:
 
 class TestAllBackendsAgree:
     """The fused-backend acceptance property: scalar, vector, overlap,
-    fused and mp executions produce bit-identical post-state memories,
-    and the batching backends (vector / overlap / fused / mp) exchange
-    exactly the same messages, across decomposition kinds.
+    fused, native and mp executions produce bit-identical post-state
+    memories, and the batching backends (vector / overlap / fused /
+    native / mp) exchange exactly the same messages, across
+    decomposition kinds.
 
     The mp backend runs the same kernels on real OS processes — a small
     fixed worker count keeps the hypothesis sweep fast (the pool is
-    persistent, so only the first example pays the spawn)."""
+    persistent, so only the first example pays the spawn).  The native
+    backend runs the njit scalar-loop kernels when numba is present and
+    degrades to the fused tier otherwise — bit-identity is required
+    either way (the interp-mode native stack is exercised separately in
+    ``tests/test_native.py``)."""
 
     @settings(max_examples=40, deadline=None)
     @given(
@@ -404,23 +409,25 @@ class TestAllBackendsAgree:
         env0 = env1d(seed)
         ref = evaluate_clause(cl, copy_env(env0))["A"]
 
-        # shared machine: scalar / vector / fused / mp all bit-identical
-        for backend in ("scalar", "vector", "fused", "mp"):
+        # shared machine: scalar / vector / fused / native / mp all
+        # bit-identical
+        for backend in ("scalar", "vector", "fused", "native", "mp"):
             m = run_shared(plan, copy_env(env0), backend=backend,
                            processes=2)
             assert np.array_equal(m.env["A"], ref), f"shared {backend}"
 
-        # distributed machine: all five backends bit-identical, and the
+        # distributed machine: all six backends bit-identical, and the
         # batching backends move exactly the same messages/elements
         msgs = {}
-        for backend in ("scalar", "vector", "overlap", "fused", "mp"):
+        for backend in ("scalar", "vector", "overlap", "fused",
+                        "native", "mp"):
             m = run_distributed(plan, copy_env(env0), backend=backend,
                                 processes=2)
             assert np.array_equal(m.collect("A"), ref), f"dist {backend}"
             msgs[backend] = (m.stats.total_messages(),
                              m.stats.total_elements_moved())
         assert msgs["vector"] == msgs["overlap"] == msgs["fused"] \
-            == msgs["mp"]
+            == msgs["native"] == msgs["mp"]
         # batching never changes what moves, only how it is packed
         assert msgs["vector"][1] == msgs["scalar"][1]
 
