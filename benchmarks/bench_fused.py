@@ -169,9 +169,9 @@ def main() -> int:
             compile_fn)
         kernel_speedup = k_cold_ms / k_warm_ms if k_warm_ms else float("inf")
 
-        t_s, m_s = _median_of(lambda: run(plan, "scalar"))
-        t_v, m_v = _median_of(lambda: run(plan, "vector"))
-        t_f, m_f = _median_of(lambda: run(plan, "fused"))
+        t_s, m_s = _median_of(lambda run=run: run(plan, "scalar"))
+        t_v, m_v = _median_of(lambda run=run: run(plan, "vector"))
+        t_f, m_f = _median_of(lambda run=run: run(plan, "fused"))
         ref = collect(m_s)
         identical = bool(np.array_equal(ref, collect(m_v))
                          and np.array_equal(ref, collect(m_f)))

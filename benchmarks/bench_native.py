@@ -217,8 +217,8 @@ def main(argv=None) -> int:
 
     for label, compile_fn, run, collect in _single_clause_workloads(smoke):
         plan, jit_cold_ms, jit_warm_ms, jit_ms = _jit_timing(compile_fn)
-        t_f, m_f = _median_of(lambda: run(plan, "fused"))
-        t_n, m_n = _median_of(lambda: run(plan, "native"))
+        t_f, m_f = _median_of(lambda run=run: run(plan, "fused"))
+        t_n, m_n = _median_of(lambda run=run: run(plan, "native"))
         identical = bool(np.array_equal(collect(m_f), collect(m_n)))
         if not identical:
             failures.append(f"{label}: native differs from fused")

@@ -152,9 +152,9 @@ def main() -> int:
         plan, cold_s, warm_s, warm_hit = _compile_timing(compile_fn)
 
         # wall-clock per backend (no model: pure executor cost)
-        t_s, m_s = _best_of(lambda: run(plan, "scalar"))
-        t_v, m_v = _best_of(lambda: run(plan, "vector"))
-        t_o, m_o = _best_of(lambda: run(plan, "overlap"))
+        t_s, m_s = _best_of(lambda run=run: run(plan, "scalar"))
+        t_v, m_v = _best_of(lambda run=run: run(plan, "vector"))
+        t_o, m_o = _best_of(lambda run=run: run(plan, "overlap"))
         ref = collect(m_s)
         identical = bool(np.array_equal(ref, collect(m_v))
                          and np.array_equal(ref, collect(m_o)))

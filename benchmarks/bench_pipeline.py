@@ -103,8 +103,8 @@ def _e19_workload():
 def main() -> int:
     entries = []
     for label, run, collect in [*_e13_workloads(), *_e19_workload()]:
-        t_s, m_s = _best_of(lambda: run("scalar"))
-        t_v, m_v = _best_of(lambda: run("vector"))
+        t_s, m_s = _best_of(lambda run=run: run("scalar"))
+        t_v, m_v = _best_of(lambda run=run: run("vector"))
         identical = bool(np.array_equal(collect(m_s), collect(m_v)))
         entry = {
             "workload": label,

@@ -161,7 +161,8 @@ def main(argv=None) -> int:
             continue
 
         t_fused, m_fused = _median_of(
-            lambda: run_program(pir, copy_env(env), backend="fused")[0])
+            lambda env=env: run_program(pir, copy_env(env),
+                                        backend="fused")[0])
         ref = {n: m_fused.env[n] for n in names}
 
         # cold: first mp run pays the pool spawn + program install
@@ -172,8 +173,8 @@ def main(argv=None) -> int:
         t_cold = time.perf_counter() - t0
 
         t_warm, m_warm = _median_of(
-            lambda: run_program(pir, copy_env(env), backend="mp",
-                                processes=PROCS)[0])
+            lambda env=env: run_program(pir, copy_env(env), backend="mp",
+                                        processes=PROCS)[0])
 
         # per-step recompile baseline (one measured pass: it is slow)
         t0 = time.perf_counter()

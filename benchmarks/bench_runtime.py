@@ -146,7 +146,7 @@ def main(argv=None) -> int:
     for label, p, compile_fn, run_fn, collect_fn in _workloads(smoke):
         plan = compile_fn()
 
-        t_fused, m_fused = _median_of(lambda: run_fn(plan, "fused"))
+        t_fused, m_fused = _median_of(lambda run_fn=run_fn: run_fn(plan, "fused"))
         ref = collect_fn(m_fused)
 
         # cold: first mp run pays the pool spawn + program install
@@ -156,7 +156,7 @@ def main(argv=None) -> int:
         t_cold = time.perf_counter() - t0
         pids_first = [s.pid for s in m_cold.runtime_stats]
 
-        t_mp, m_mp = _median_of(lambda: run_fn(plan, "mp"))
+        t_mp, m_mp = _median_of(lambda run_fn=run_fn: run_fn(plan, "mp"))
         pids_last = [s.pid for s in m_mp.runtime_stats]
 
         identical = bool(np.array_equal(ref, collect_fn(m_mp))

@@ -63,6 +63,32 @@ CODES: Dict[str, str] = {
                "naive full-range scan",
     "CHK001": "verification incomplete: the clause failed to compile or "
               "the enumeration fallback exceeded its budget",
+    "PROG001": "uncertified fusion: an eliminated inter-clause barrier "
+               "contradicts (or exceeds) the independent Bernstein/DILD "
+               "dependence re-derivation",
+    "PROG002": "uncertified elision: an elided redistribution boundary "
+               "has element-to-processor layouts that do not agree",
+    "PROG003": "uncertified pipelining: a pipelined time loop violates "
+               "its own preconditions (surviving redistribution or "
+               "incompatible swap pair)",
+    "PROG004": "buffer-swap aliasing: a pipelined swap pair exchanges "
+               "halo-extended (overlapped) buffers by name, leaving "
+               "ghost copies stale on distributed targets",
+    "SCHED001": "unmatched message: a lowered (dst, src, pos) send key "
+                "has no matching expected gather (or the lane counts "
+                "disagree)",
+    "SCHED002": "barrier placement: a fused clause boundary lets a node "
+                "gather elements another node commits in the same phase",
+    "SCHED003": "wait-for cycle: the node wait-for graph has a cycle "
+                "through an unmatched message — the blocked wait "
+                "propagates around the cycle (deadlock)",
+    "KRN001": "kernel index out of bounds: a precomputed gather/scatter "
+              "index array escapes its flat-array extent",
+    "KRN002": "kernel source audit: the rendered kernel uses a name or "
+              "operation outside the whitelist, or the fused and native "
+              "renderings disagree on NaN semantics (min/max)",
+    "KRN003": "dead guard: the clause guard can never fire over the "
+              "loop domain (every iteration is filtered out)",
 }
 
 _RANK = {Severity.ERROR: 0, Severity.WARNING: 1, Severity.INFO: 2}

@@ -1,0 +1,451 @@
+"""Generated-kernel sanitizer (the ``KRN`` diagnostic family).
+
+The fused/native/mp tiers execute *generated artifacts*: exec-compiled
+NumPy source, njit scalar loops, and precomputed flat gather/scatter
+index arrays.  Until now those artifacts were trusted — a codegen bug
+would fault inside a worker (or worse, silently read the wrong slot).
+This module audits them statically, per plan:
+
+``KRN001``
+    Every precomputed index array stays inside the flat extent of the
+    buffer it addresses: shared-kernel global gather/scatter keys and
+    lowered mp-program keys against the declared array sizes, dist-kernel
+    local gathers/scatters against the node's local (resident) buffer
+    size.
+
+``KRN002``
+    AST audit of the rendered kernel sources.  The fused rendering may
+    only use the ``_i``/``_r`` vectors, whitelisted Python operators and
+    the element-wise ``_np`` calls the code generator emits; the native
+    scalar loop additionally gets its loop scaffolding.  Anything else —
+    an injected name, a builtin ``min``/``max`` (which would change NaN
+    semantics relative to ``np.minimum``/``np.maximum``), an import —
+    is an error.  The check also cross-audits NaN parity: a clause using
+    ``min``/``max`` must route through ``_np.minimum``/``_np.maximum``
+    in *both* renderings.
+
+``KRN003``
+    A guard expression that references no data and is false on every
+    domain index can never fire: the clause writes nothing (warning).
+
+``check_kernels_strict`` is the run-time gate: ``run --strict`` for the
+mp/native backends refuses plans with KRN errors exactly as the fused
+backend refuses RACE/COMM.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..core.expr import BinOp, Ref, UnOp
+from .diagnostics import Diagnostic, Severity
+from .support import ENUM_BUDGET, range_count
+
+__all__ = ["sanitize_kernels", "audit_kernel_source", "check_kernels_strict"]
+
+#: names the fused (vector) rendering may reference
+_FUSED_NAMES = {"_np", "_i", "_r", "_rhs", "_guard"}
+#: extra names of the native scalar-loop scaffolding
+_NATIVE_NAMES = {"_kernel", "_lanes", "_scatter", "_out", "_m", "_t", "_l"}
+#: builtins the native rendering may call
+_NATIVE_CALLS = {"range", "abs"}
+#: element-wise ``_np`` attributes the code generators emit
+_NP_ATTRS = {"minimum", "maximum", "logical_and", "logical_or",
+             "logical_not", "absolute"}
+
+_BINOPS = (ast.Add, ast.Sub, ast.Mult, ast.Div, ast.FloorDiv, ast.Mod)
+_CMPOPS = (ast.Gt, ast.GtE, ast.Lt, ast.LtE, ast.Eq, ast.NotEq)
+
+
+def _diag(code, message, *, severity=Severity.ERROR, clause="", access="",
+          span=None, witnesses=None, hint=""):
+    return Diagnostic(code=code, message=message, severity=severity,
+                      clause=clause, access=access, span=span,
+                      witnesses=witnesses or {}, hint=hint)
+
+
+# ---------------------------------------------------------------------------
+# KRN002: source audit
+# ---------------------------------------------------------------------------
+
+def audit_kernel_source(source: str, kind: str = "fused") -> List[str]:
+    """Whitelist audit of one rendered kernel source; returns violation
+    strings (empty = clean).  *kind* is ``"fused"`` (the exec'd NumPy
+    expression) or ``"native"`` (the njit scalar loop)."""
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as e:
+        return [f"source does not parse: {e}"]
+    allowed_names = set(_FUSED_NAMES)
+    if kind == "native":
+        allowed_names |= _NATIVE_NAMES | _NATIVE_CALLS
+    problems: List[str] = []
+
+    def bad(node, why):
+        problems.append(f"line {getattr(node, 'lineno', '?')}: {why}")
+
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            bad(node, "import statement in generated kernel")
+        elif isinstance(node, ast.Name):
+            if node.id not in allowed_names:
+                bad(node, f"name {node.id!r} outside the kernel whitelist")
+        elif isinstance(node, ast.Attribute):
+            v = node.value
+            if (kind == "native" and node.attr == "shape"
+                    and isinstance(v, ast.Name) and v.id in _NATIVE_NAMES):
+                continue  # `_scatter.shape[0]` loop scaffolding
+            if not (isinstance(v, ast.Name) and v.id == "_np"):
+                bad(node, f"attribute access on non-_np value "
+                          f"(.{node.attr})")
+            elif node.attr not in _NP_ATTRS:
+                bad(node, f"_np.{node.attr} is not an emitted element-wise "
+                          "call")
+        elif isinstance(node, ast.Call):
+            f = node.func
+            if isinstance(f, ast.Attribute):
+                continue  # audited as Attribute above
+            if not (isinstance(f, ast.Name) and f.id in _NATIVE_CALLS
+                    and kind == "native"):
+                name = getattr(f, "id", type(f).__name__)
+                bad(node, f"call of {name!r} outside the kernel whitelist")
+        elif isinstance(node, ast.BinOp):
+            if not isinstance(node.op, _BINOPS):
+                bad(node, f"operator {type(node.op).__name__} not emitted "
+                          "by the code generator")
+        elif isinstance(node, ast.Compare):
+            for op in node.ops:
+                if not isinstance(op, _CMPOPS):
+                    bad(node, f"comparison {type(op).__name__} not emitted "
+                              "by the code generator")
+        elif isinstance(node, ast.UnaryOp):
+            if not isinstance(node.op, (ast.USub, ast.Not)):
+                bad(node, f"unary {type(node.op).__name__} not emitted")
+        elif isinstance(node, (ast.Lambda, ast.Await, ast.Yield,
+                               ast.YieldFrom, ast.Global, ast.Nonlocal,
+                               ast.Delete, ast.With, ast.Try, ast.Raise,
+                               ast.ClassDef, ast.While)):
+            bad(node, f"{type(node).__name__} statement in generated kernel")
+    return problems
+
+
+def _ops_used(expr, out: set) -> set:
+    if isinstance(expr, BinOp):
+        out.add(expr.op)
+        _ops_used(expr.left, out)
+        _ops_used(expr.right, out)
+    elif isinstance(expr, UnOp):
+        out.add(expr.op)
+        _ops_used(expr.operand, out)
+    return out
+
+
+def _audit_sources(ir, kernels) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    cname = ir.clause.name or "<anonymous>"
+    for why in audit_kernel_source(kernels.source, "fused"):
+        out.append(_diag(
+            "KRN002", f"fused kernel source rejected: {why}",
+            clause=cname, access=f"write:{kernels.write_name}",
+            hint="the rendered kernel escaped the code generator's "
+                 "whitelist; recompile the plan (clear_plan_cache)"))
+    try:
+        from ..pipeline.native import render_native_source
+
+        native_src: Optional[str] = render_native_source(ir.clause)
+    except Exception:  # no native rendering: nothing to cross-audit
+        native_src = None
+    if native_src is not None:
+        for why in audit_kernel_source(native_src, "native"):
+            out.append(_diag(
+                "KRN002", f"native kernel source rejected: {why}",
+                clause=cname, access=f"write:{kernels.write_name}"))
+    # NaN parity: min/max must be the NaN-propagating NumPy forms in
+    # every rendering of this clause
+    ops = _ops_used(ir.clause.rhs, set())
+    if ir.clause.guard is not None:
+        _ops_used(ir.clause.guard, ops)
+    for op, spelled in (("min", "_np.minimum"), ("max", "_np.maximum")):
+        if op not in ops:
+            continue
+        for label, src in (("fused", kernels.source), ("native", native_src)):
+            if src is not None and spelled not in src:
+                out.append(_diag(
+                    "KRN002",
+                    f"NaN-semantics parity broken: clause uses {op!r} but "
+                    f"the {label} rendering does not spell it {spelled} "
+                    "(builtin min/max does not propagate NaN)",
+                    clause=cname, access=f"write:{kernels.write_name}"))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# KRN001: index-array bounds
+# ---------------------------------------------------------------------------
+
+def _extents(ir, name: str) -> Optional[Tuple[int, ...]]:
+    """Global shape of array *name* from the plan's accesses."""
+    from ..decomp.multidim import GridDecomposition
+
+    accs = [ir.write] if ir.write is not None else []
+    accs += list(ir.reads)
+    for acc in accs:
+        if acc is None or acc.name != name:
+            continue
+        dec = acc.dec
+        if isinstance(dec, GridDecomposition):
+            return tuple(int(ax.n) for ax in dec.dims)
+        n = getattr(dec, "n", None)
+        if n is not None:
+            return (int(n),)
+    return None
+
+
+def _key_violation(key, extents) -> Optional[Tuple[int, int, int, int]]:
+    """First ``(dim, lane, value, extent)`` escaping the per-dim extents,
+    or ``None`` when every index is in bounds."""
+    vecs = key if isinstance(key, tuple) else (key,)
+    if extents is None or len(vecs) != len(extents):
+        return None
+    for d, (vec, n) in enumerate(zip(vecs, extents)):
+        v = np.asarray(vec)
+        if v.size == 0:
+            continue
+        bad = (v < 0) | (v >= n)
+        if bad.any():
+            lane = int(np.argmax(bad))
+            return d, lane, int(v[lane]), int(n)
+    return None
+
+
+def _flat_violation(vec, extent: Optional[int]) -> Optional[Tuple[int, int]]:
+    """First ``(lane, value)`` of a flat local index array escaping
+    ``[0, extent)`` (negative indices are flagged even without extent)."""
+    v = np.asarray(vec)
+    if v.size == 0:
+        return None
+    bad = v < 0
+    if extent is not None:
+        bad = bad | (v >= extent)
+    if bad.any():
+        lane = int(np.argmax(bad))
+        return lane, int(v[lane])
+    return None
+
+
+def _local_extent(dec, p: int) -> Optional[int]:
+    """Size of node *p*'s local buffer (halo-extended when overlapped)."""
+    for attr in ("resident_size", "local_size"):
+        f = getattr(dec, attr, None)
+        if callable(f):
+            try:
+                return int(f(p))
+            except Exception:
+                return None
+    return None
+
+
+def _check_shared(ir, kernels) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    cname = ir.clause.name or "<anonymous>"
+    if not kernels.shared:
+        return out
+    wext = _extents(ir, kernels.write_name)
+    for p, nk in enumerate(kernels.shared):
+        for pos, (name, ai) in enumerate(nk.read_keys):
+            hit = _key_violation(ai, _extents(ir, name))
+            if hit is not None:
+                d, lane, v, n = hit
+                out.append(_diag(
+                    "KRN001",
+                    f"shared kernel of node {p}: gather key of read "
+                    f"{name!r} (pos {pos}) holds index {v} outside "
+                    f"[0, {n}) at dim {d} lane {lane}",
+                    clause=cname, access=f"read{pos}:{name}",
+                    witnesses={p: [lane]},
+                    hint="a corrupted or stale gather index array would "
+                         "fault (or silently wrap) at run time"))
+        hit = _key_violation(nk.write_key_vecs, wext)
+        if hit is not None:
+            d, lane, v, n = hit
+            out.append(_diag(
+                "KRN001",
+                f"shared kernel of node {p}: scatter key of write "
+                f"{kernels.write_name!r} holds index {v} outside "
+                f"[0, {n}) at dim {d} lane {lane}",
+                clause=cname, access=f"write:{kernels.write_name}",
+                witnesses={p: [lane]}))
+    return out
+
+
+def _check_dist(ir, kernels) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    cname = ir.clause.name or "<anonymous>"
+    if not kernels.dist:
+        return out
+    decs = {}
+    if ir.write is not None:
+        decs[ir.write.name] = ir.write.dec
+    for acc in ir.reads:
+        decs.setdefault(acc.name, acc.dec)
+    for p, nk in enumerate(kernels.dist):
+        for rd in nk.reads:
+            if rd.replicated:
+                ext = _extents(ir, rd.name)
+                hit = _flat_violation(rd.rep_gather,
+                                      ext[0] if ext else None)
+            else:
+                hit = _flat_violation(
+                    rd.local_gather, _local_extent(decs.get(rd.name), p))
+            if hit is not None:
+                lane, v = hit
+                out.append(_diag(
+                    "KRN001",
+                    f"dist kernel of node {p}: local gather of read "
+                    f"{rd.name!r} (pos {rd.pos}) holds index {v} outside "
+                    "the node's buffer extent",
+                    clause=cname, access=f"read{rd.pos}:{rd.name}",
+                    witnesses={p: [lane]}))
+        wdec = decs.get(kernels.write_name)
+        for label, scatter in (("interior", nk.scatter_interior),
+                               ("boundary", nk.scatter_boundary)):
+            hit = _flat_violation(scatter, _local_extent(wdec, p))
+            if hit is not None:
+                lane, v = hit
+                out.append(_diag(
+                    "KRN001",
+                    f"dist kernel of node {p}: {label} scatter of write "
+                    f"{kernels.write_name!r} holds index {v} outside the "
+                    "node's buffer extent",
+                    clause=cname, access=f"write:{kernels.write_name}",
+                    witnesses={p: [lane]}))
+    return out
+
+
+def _check_mp(ir, kernels) -> List[Diagnostic]:
+    """Bounds over already-lowered mp programs (their keys are global)."""
+    out: List[Diagnostic] = []
+    cname = ir.clause.name or "<anonymous>"
+    progs = getattr(kernels, "_mp_programs", None) or {}
+    for flavor, prog in sorted(progs.items()):
+        wext = _extents(ir, prog.write_name)
+        for nd in prog.nodes:
+            for rd in nd.reads:
+                hit = _key_violation(rd.local_key, _extents(ir, rd.name))
+                if hit is not None:
+                    d, lane, v, n = hit
+                    out.append(_diag(
+                        "KRN001",
+                        f"mp[{flavor}] node {nd.p}: global gather of read "
+                        f"{rd.name!r} (pos {rd.pos}) holds index {v} "
+                        f"outside [0, {n}) at dim {d} lane {lane}",
+                        clause=cname, access=f"read{rd.pos}:{rd.name}",
+                        witnesses={nd.p: [lane]}))
+            for s in nd.sends:
+                for q, key in s.peers:
+                    hit = _key_violation(key, _extents(ir, s.name))
+                    if hit is not None:
+                        d, lane, v, n = hit
+                        out.append(_diag(
+                            "KRN001",
+                            f"mp[{flavor}] node {nd.p}: send key of read "
+                            f"{s.name!r} to node {q} holds index {v} "
+                            f"outside [0, {n})",
+                            clause=cname, access=f"read{s.pos}:{s.name}",
+                            witnesses={nd.p: [lane]}))
+            for label, wkey in (("interior", nd.wkey_interior),
+                                ("boundary", nd.wkey_boundary)):
+                hit = _key_violation(wkey, wext)
+                if hit is not None:
+                    d, lane, v, n = hit
+                    out.append(_diag(
+                        "KRN001",
+                        f"mp[{flavor}] node {nd.p}: {label} commit key of "
+                        f"{prog.write_name!r} holds index {v} outside "
+                        f"[0, {n})",
+                        clause=cname, access=f"write:{prog.write_name}",
+                        witnesses={nd.p: [lane]}))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# KRN003: dead guards
+# ---------------------------------------------------------------------------
+
+def _has_refs(expr) -> bool:
+    if isinstance(expr, Ref):
+        return True
+    if isinstance(expr, BinOp):
+        return _has_refs(expr.left) or _has_refs(expr.right)
+    if isinstance(expr, UnOp):
+        return _has_refs(expr.operand)
+    return False
+
+
+def _check_guard(ir) -> List[Diagnostic]:
+    guard = ir.clause.guard
+    if guard is None or _has_refs(guard):
+        return []  # data-dependent guards are not statically decidable
+    bounds = list(ir.loop_bounds)
+    total = 1
+    for lo, hi in bounds:
+        total *= range_count(lo, hi)
+    if total == 0 or total > ENUM_BUDGET:
+        return []
+    import itertools
+
+    ranges = [range(lo, hi + 1) for lo, hi in bounds]
+    for idx in itertools.product(*ranges):
+        try:
+            if guard.eval(idx, {}):
+                return []
+        except Exception:
+            return []  # opaque guard: leave it to the runtime
+    span = tuple(bounds[0]) if len(bounds) == 1 else None
+    return [_diag(
+        "KRN003",
+        f"guard {guard!r} is false on all {total} domain indices: the "
+        "clause never writes",
+        severity=Severity.WARNING,
+        clause=ir.clause.name or "<anonymous>", span=span,
+        hint="remove the guard or fix its bounds; every iteration is "
+             "filtered out")]
+
+
+# ---------------------------------------------------------------------------
+# entry points
+# ---------------------------------------------------------------------------
+
+def sanitize_kernels(ir) -> List[Diagnostic]:
+    """Audit one compiled plan's generated kernels; returns KRN findings
+    (empty when the plan has no kernels — nothing generated, nothing to
+    audit)."""
+    out: List[Diagnostic] = []
+    kernels = getattr(ir, "kernels", None)
+    if kernels is not None:
+        out += _audit_sources(ir, kernels)
+        out += _check_shared(ir, kernels)
+        out += _check_dist(ir, kernels)
+        out += _check_mp(ir, kernels)
+    out += _check_guard(ir)
+    return out
+
+
+def check_kernels_strict(ir, strict: bool) -> None:
+    """``run --strict`` gate for the mp/native tiers: refuse execution
+    when the kernel sanitizer finds a KRN error (mirrors the fused
+    backend's RACE/COMM gate)."""
+    if not strict:
+        return
+    offending = [d for d in sanitize_kernels(ir)
+                 if d.is_error and d.code.startswith("KRN")]
+    if offending:
+        from ..machine.fused import FusedStrictError
+
+        codes = ", ".join(sorted({d.code for d in offending}))
+        raise FusedStrictError(
+            f"execution refused under --strict: kernel sanitizer flagged "
+            f"{codes} ({offending[0].message})")

@@ -54,27 +54,56 @@ def verify_clause(
     return ir.diagnostics
 
 
+def _schedule_codes(ir):
+    """SCHED codes (and the certificate) of this clause's lowered
+    distributed schedule — the static message-matching proof re-run at
+    the failure boundary.  ``(codes, cert)``; ``(None, None)`` when the
+    clause has no mp form to check."""
+    from ..runtime.lowering import MpLoweringError, lower_dist
+    from .schedule import check_schedule
+
+    try:
+        prog = lower_dist(ir)
+    except MpLoweringError:
+        return None, None
+    diags, cert = check_schedule([prog])
+    return [d.code for d in diags if d.is_error], cert
+
+
 def annotate_deadlock(err, ir):
     """Append the static verdict to a runtime deadlock, when one exists.
 
     The scheduler has no plan knowledge, so the cross-check lives at the
     run boundary: if the verifier flags the clause with ``COMM``/``BND``
-    errors, the deadlock message names them — the runtime failure was
-    statically decidable.  The error object (``blocked``/``undelivered``
+    errors — or the static schedule check denies its certificate with a
+    ``SCHED`` code — the deadlock message names them: the runtime failure
+    was statically decidable.  A deadlock on a clause whose schedule
+    certificate is *clean* is called out as contradicting the
+    certificate.  The error object (``blocked``/``undelivered``
     included) is returned unchanged apart from its message."""
     if ir is None:
         return err
     try:
         report = ir.diagnostics if ir.diagnostics is not None \
             else verify_ir(ir)
+        codes = [d.code for d in report.errors()
+                 if d.code.startswith(("COMM", "BND"))]
+        sched_codes, cert = _schedule_codes(ir)
+        if sched_codes:
+            codes += sched_codes
     except Exception:  # never let the cross-check mask the real failure
         return err
-    codes = [d.code for d in report.errors()
-             if d.code.startswith(("COMM", "BND"))]
     if codes:
         seen = list(dict.fromkeys(codes))
         err.args = (
             f"{err.args[0]} [statically detectable: {', '.join(seen)} — "
             "run `repro check` on this program]",
+        ) + err.args[1:]
+    elif cert is not None and cert.ok:
+        err.args = (
+            f"{err.args[0]} [SCHED certificate: this schedule was "
+            "statically certified deadlock-free; the deadlock "
+            "contradicts the certificate — suspect runtime state, not "
+            "message matching]",
         ) + err.args[1:]
     return err

@@ -51,7 +51,7 @@ def parse_decomposition(spec: str, pmax: int) -> tuple[str, Decomposition]:
     except (ValueError, IndexError):
         raise SystemExit(
             f"bad --array spec {spec!r}; expected NAME=KIND:SIZE[:PARAM]"
-        )
+        ) from None
     try:
         if kind == "block":
             return name, Block(n, pmax, b=param)
@@ -67,7 +67,7 @@ def parse_decomposition(spec: str, pmax: int) -> tuple[str, Decomposition]:
             return name, Replicated(n, pmax)
     except ValueError as e:
         # constructor rejections (e.g. block size too small for n/pmax)
-        raise SystemExit(f"bad --array spec {spec!r}: {e}")
+        raise SystemExit(f"bad --array spec {spec!r}: {e}") from None
     raise SystemExit(f"unknown decomposition kind {kind!r}")
 
 
@@ -78,7 +78,8 @@ def _parse_params(items: List[str]) -> Dict[str, int]:
             k, v = item.split("=", 1)
             out[k] = int(v)
         except ValueError:
-            raise SystemExit(f"bad --param {item!r}; expected NAME=INT")
+            raise SystemExit(
+                f"bad --param {item!r}; expected NAME=INT") from None
     return out
 
 
@@ -93,8 +94,13 @@ def _parse_swap(items: List[str]) -> List[tuple]:
     return out
 
 
+def _read_file(path: str) -> str:
+    with open(path) as fh:
+        return fh.read()
+
+
 def _load_program(args):
-    source = sys.stdin.read() if args.file == "-" else open(args.file).read()
+    source = sys.stdin.read() if args.file == "-" else _read_file(args.file)
     return translate_source(source, _parse_params(args.param))
 
 
@@ -102,8 +108,7 @@ def _decomps(args) -> Dict[str, Decomposition]:
     if getattr(args, "spec", None):
         from .decomp.spec import parse_spec
 
-        text = open(args.spec).read()
-        out = parse_spec(text)
+        out = parse_spec(_read_file(args.spec))
         pmaxes = {d.pmax for d in out.values()}
         if len(pmaxes) > 1:
             raise SystemExit(
@@ -191,11 +196,17 @@ def cmd_compile(args) -> int:
             print(emit_distributed_source(plan))
     steps = max(1, getattr(args, "steps", 1) or 1)
     if len(list(program)) > 1 or steps > 1:
+        from .analysis import verify_program
         from .pipeline import compile_program
 
         pir = compile_program(program, decomps, repeat=steps,
                               swap=_parse_swap(getattr(args, "swap", [])))
+        verification = verify_program(pir)
         print(pir.describe())
+        verdict = "clean" if verification.ok else (
+            "FLAGGED: " + ", ".join(sorted(
+                {d.code for d in verification.errors()})))
+        print(f"  program verification: {verdict}")
         if getattr(args, "explain", False):
             print()
             print(pir.trace.pretty(verbose=args.verbose))
@@ -227,8 +238,9 @@ def _explain_native(plan, kernels) -> None:
 
 
 def print_cache_stats() -> None:
-    """One unified block: plan, Table I, kernel, native, and program
-    caches."""
+    """One unified block: plan, Table I, kernel, native, program, and
+    verifier-report caches."""
+    from .analysis import verify_cache_info
     from .pipeline import (
         kernel_cache_info,
         native_cache_info,
@@ -239,7 +251,7 @@ def print_cache_stats() -> None:
 
     pc, tc = plan_cache_info(), table1_cache_info()
     kc, gc = kernel_cache_info(), program_cache_info()
-    nc = native_cache_info()
+    nc, vc = native_cache_info(), verify_cache_info()
     print("caches:")
     print(f"  plan:    hits={pc['hits']} misses={pc['misses']} "
           f"evictions={pc['evictions']} "
@@ -257,9 +269,34 @@ def print_cache_stats() -> None:
     print(f"  program: hits={gc['hits']} misses={gc['misses']} "
           f"evictions={gc['evictions']} "
           f"size={gc['size']}/{gc['maxsize']} enabled={gc['enabled']}")
+    print(f"  verify:  hits={vc['hits']} misses={vc['misses']} "
+          f"evictions={vc['evictions']} "
+          f"size={vc['size']}/{vc['maxsize']} enabled={vc['enabled']}")
 
 
 def cmd_check(args) -> int:
+    """``repro check``: per-clause verifier reports plus (for programs)
+    the whole-program verification — PROG/SCHED/KRN analyses over the
+    compiled :class:`ProgramIR`.
+
+    ``--json`` emits one object with the documented schema::
+
+        {
+          "clauses":  [DiagnosticReport.summary(), ...],   # per clause
+          "program": {                       # null for bare single clauses
+            "ok": bool,                      # no PROG/SCHED/KRN errors
+            "errors": int, "warnings": int,
+            "diagnostics": [Diagnostic.as_dict(), ...],
+            "certificate": str | null,       # schedule proof, described
+            "certified_deadlock_free": bool | null
+          },
+          "ok": bool,          # overall: no errors (and, under --strict,
+          "errors": int,       #   no warnings either)
+          "warnings": int
+        }
+
+    Exit status 0 iff ``ok`` (info-level findings never fail a check).
+    """
     import json
 
     from .analysis import CODES, Diagnostic, DiagnosticReport, Severity
@@ -268,6 +305,19 @@ def cmd_check(args) -> int:
     program = _load_program(args)
     decomps = _decomps(args)
     clauses = list(program)
+    steps = max(1, getattr(args, "steps", 1) or 1)
+    swap = _parse_swap(getattr(args, "swap", []))
+
+    def chk001(label: str, what: str, e: Exception) -> DiagnosticReport:
+        report = DiagnosticReport(clause=label)
+        report.add(Diagnostic(
+            code="CHK001",
+            message=f"{what} failed to compile: {e}",
+            severity=Severity.ERROR,
+            hint=CODES["CHK001"],
+        ))
+        return report.finish()
+
     reports = []
     for k, clause in enumerate(clauses):
         successor = clauses[k + 1] if k + 1 < len(clauses) else None
@@ -278,20 +328,43 @@ def cmd_check(args) -> int:
         except (KeyError, ValueError, NotImplementedError) as e:
             # the clause does not even compile — report that as a
             # verification failure rather than crashing the checker
-            report = DiagnosticReport(clause=clause.name or "<anonymous>")
-            report.add(Diagnostic(
-                code="CHK001",
-                message=f"clause failed to compile: {e}",
-                severity=Severity.ERROR,
-                hint=CODES["CHK001"],
-            ))
-            reports.append(report.finish())
+            reports.append(chk001(clause.name or "<anonymous>", "clause", e))
+    verification = None
+    program_report = None
+    if len(clauses) > 1 or steps > 1 or swap:
+        from .analysis import verify_program
+        from .pipeline import compile_program
+
+        try:
+            pir = compile_program(program, decomps, repeat=steps, swap=swap,
+                                  verify=True)
+            verification = verify_program(pir)
+            program_report = verification.program
+        except (KeyError, ValueError, NotImplementedError) as e:
+            program_report = chk001("<program>", "program", e)
     errors = sum(len(r.errors()) for r in reports)
     warnings = sum(len(r.warnings()) for r in reports)
+    if program_report is not None:
+        errors += len(program_report.errors())
+        warnings += len(program_report.warnings())
     ok = errors == 0 and not (args.strict and warnings)
+    cert = verification.certificate if verification is not None else None
     if args.json:
+        prog_section = None
+        if program_report is not None:
+            prog_section = {
+                "ok": program_report.ok,
+                "errors": len(program_report.errors()),
+                "warnings": len(program_report.warnings()),
+                "diagnostics": [d.as_dict()
+                                for d in program_report.diagnostics],
+                "certificate": cert.describe() if cert is not None else None,
+                "certified_deadlock_free": (cert.ok if cert is not None
+                                            else None),
+            }
         print(json.dumps({
             "clauses": [r.summary() for r in reports],
+            "program": prog_section,
             "ok": ok,
             "errors": errors,
             "warnings": warnings,
@@ -299,6 +372,10 @@ def cmd_check(args) -> int:
     else:
         for report in reports:
             print(report.pretty())
+        if program_report is not None:
+            print(program_report.pretty())
+            if cert is not None:
+                print(f"schedule: {cert.describe()}")
         tail = f"{len(reports)} clause(s): {errors} error(s), " \
                f"{warnings} warning(s)"
         if args.strict and warnings and not errors:
@@ -474,13 +551,23 @@ def build_parser() -> argparse.ArgumentParser:
     comp.set_defaults(fn=cmd_compile)
 
     chk = sub.add_parser(
-        "check", help="statically verify clauses (races, communication, "
-                      "bounds, decomposition lint)")
+        "check", help="statically verify clauses and whole programs "
+                      "(races, communication, bounds, lint; inter-clause "
+                      "PROG, schedule SCHED, kernel KRN analyses)")
     common(chk)
     chk.add_argument("--strict", action="store_true",
                      help="treat warnings as fatal (non-zero exit)")
     chk.add_argument("--json", action="store_true",
-                     help="emit machine-readable diagnostics")
+                     help="emit machine-readable diagnostics (documented "
+                          "schema; see cmd_check)")
+    chk.add_argument("--steps", type=int, default=1, metavar="N",
+                     help="verify the program as an N-iteration time loop "
+                          "(repeat form; the PROG analyses re-check the "
+                          "pipelining decision)")
+    chk.add_argument("--swap", action="append", default=[], metavar="A:B",
+                     help="buffer pair exchanged after every time-loop "
+                          "iteration (repeatable; checked for placement "
+                          "compatibility and halo aliasing)")
     chk.set_defaults(fn=cmd_check)
 
     run = sub.add_parser("run", help="execute on the simulated machine")
@@ -540,7 +627,7 @@ def main(argv: List[str] | None = None) -> int:
         try:
             validate_backend(args.backend, context=args.command)
         except UnknownBackendError as e:
-            raise SystemExit(f"error: {e}")
+            raise SystemExit(f"error: {e}") from None
     if getattr(args, "no_plan_cache", False):
         from .pipeline import enable_plan_cache
 

@@ -213,7 +213,8 @@ def run_distributed(
                     trace.note("backend='native' fell back to the fused "
                                f"path: {err}")
             except DeadlockError as err:
-                raise annotate_deadlock(err, ir)
+                annotate_deadlock(err, ir)
+                raise
         elif trace is not None:
             why = ("replicated write (per-copy broadcast)"
                    if plan.write_replicated else "plan carries no IR")
@@ -228,7 +229,8 @@ def run_distributed(
                 return run_distributed_fused(ir, env, machine, model=model,
                                              strict=strict)
             except DeadlockError as err:
-                raise annotate_deadlock(err, ir)
+                annotate_deadlock(err, ir)
+                raise
         if strict:
             from ..machine.fused import check_strict
 
@@ -250,7 +252,8 @@ def run_distributed(
 
             return run_distributed_vector(ir, env, machine, model=model)
         except DeadlockError as err:
-            raise annotate_deadlock(err, ir)
+            annotate_deadlock(err, ir)
+            raise
     if backend != "scalar":
         trace = getattr(plan, "trace", None)
         if trace is not None:
@@ -269,5 +272,6 @@ def run_distributed(
     try:
         machine.run(lambda ctx: make_node_program(plan, ctx))
     except DeadlockError as err:
-        raise annotate_deadlock(err, ir)
+        annotate_deadlock(err, ir)
+        raise
     return machine

@@ -29,6 +29,7 @@ import numpy as np
 from ..core.clause import Ordering
 from ..pipeline.native import NativeBuildError, ensure_native
 from .distributed import DistributedMachine, NodeContext
+from ..analysis.kernel_sanitizer import check_kernels_strict
 from .fused import check_strict
 from .shared import SharedMachine
 from .vectorize import _place_env
@@ -79,6 +80,7 @@ def run_shared_native(
     if ir.clause.ordering is not Ordering.PAR:
         raise NativeBuildError("the native executor handles // clauses")
     check_strict(ir, strict)
+    check_kernels_strict(ir, strict)
     k, nat = native_kernels_for(ir, "shared")
     if machine is None:
         machine = SharedMachine(ir.pmax, env)
@@ -227,6 +229,7 @@ def run_distributed_native(
     if ir.write.replicated:
         raise NativeBuildError("replicated write (per-copy broadcast)")
     check_strict(ir, strict)
+    check_kernels_strict(ir, strict)
     # node memories are always float64 (DistributedMachine.place), so no
     # dtype guard is needed on this flavor
     native_kernels_for(ir, "dist")

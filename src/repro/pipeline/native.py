@@ -403,7 +403,7 @@ def ensure_native(kernels, ir) -> NativeKernels:
         kernels.native_note = f"{type(e).__name__}: {e}"
         with _stats_lock:
             _STATS["failures"] += 1
-        raise NativeBuildError(kernels.native_note)
+        raise NativeBuildError(kernels.native_note) from e
     kernels.native = nat
     with _stats_lock:
         _STATS["builds"] += 1

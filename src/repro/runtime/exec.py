@@ -31,7 +31,7 @@ from ..core.clause import Ordering
 from ..machine.shared import SharedMachine
 from ..machine.stats import MachineStats
 from .lowering import MpLoweringError, lower_dist, lower_shared
-from .pool import DEFAULT_TIMEOUT, get_pool
+from .pool import DEFAULT_TIMEOUT, WorkerCrashError, get_pool
 from .shm import ShmSession
 from .stats import RuntimeStats
 
@@ -83,12 +83,33 @@ def _fill_stats(stats: MachineStats, replies) -> List[RuntimeStats]:
 
 
 def _check(ir, strict: bool) -> None:
+    from ..analysis import check_kernels_strict
     from ..machine.fused import check_strict
 
     if ir.clause.ordering is not Ordering.PAR:
         raise MpLoweringError(
             "sequential (•) clause is a serial chain; scalar path kept")
     check_strict(ir, strict)
+    check_kernels_strict(ir, strict)
+
+
+def _certify(progs, strict: bool, *, flags=None, repeat: int = 1):
+    """Static schedule proof before any worker spawns: attach the
+    certificate to every lowered program (runtime failures cite it) and,
+    under ``--strict``, refuse to launch on a denied certificate."""
+    from ..analysis import check_schedule
+
+    diags, cert = check_schedule(progs, flags=flags, repeat=repeat)
+    for prog in progs:
+        prog._sched_cert = cert
+    if strict and not cert.ok:
+        from ..machine.fused import FusedStrictError
+
+        first = next(d for d in diags if d.is_error)
+        raise FusedStrictError(
+            f"execution refused under --strict: schedule certificate "
+            f"denied ({', '.join(cert.codes)}) — {first.message}")
+    return cert
 
 
 def run_shared_mp(
@@ -104,6 +125,7 @@ def run_shared_mp(
     returned :class:`SharedMachine` holds post-state and counters."""
     _check(ir, strict)
     prog = lower_shared(ir)
+    cert = _certify([prog], strict)
     if machine is None:
         machine = SharedMachine(ir.pmax, env)
     genv = machine.env
@@ -114,6 +136,11 @@ def run_shared_mp(
                            timeout or DEFAULT_TIMEOUT, _fault_delay)
         np.copyto(genv[prog.write_name], session.views[prog.write_name])
         machine.runtime_stats = _fill_stats(machine.stats, replies)
+    except WorkerCrashError as err:
+        from ..analysis import cite_certificate
+
+        cite_certificate(err, cert)
+        raise
     finally:
         session.close()
     return machine
@@ -146,6 +173,8 @@ def run_program_mp(
         raise MpLoweringError(
             f"time loop is not pipelined ({pir.pipeline_reason})")
     progs = [lower_shared(st.ir) for st in steps]
+    cert = _certify(progs, strict, flags=pir.barrier_flags(),
+                    repeat=pir.repeat)
     genv = machine.env
     names = sorted(
         set().union(*(set(p.array_names) for p in progs))
@@ -166,6 +195,11 @@ def run_program_mp(
         for name in names:
             np.copyto(genv[name], session.views[mapping[name]])
         machine.runtime_stats = _fill_stats(machine.stats, replies)
+    except WorkerCrashError as err:
+        from ..analysis import cite_certificate
+
+        cite_certificate(err, cert)
+        raise
     finally:
         session.close()
     return machine, pir.barriers_per_step() * pir.repeat
@@ -183,6 +217,7 @@ def run_distributed_mp(
     (real messages over the worker queues, overlap schedule)."""
     _check(ir, strict)
     prog = lower_dist(ir)
+    cert = _certify([prog], strict)
     for name in prog.array_names:
         if name not in env:
             raise KeyError(f"environment is missing array {name!r}")
@@ -196,6 +231,11 @@ def run_distributed_mp(
                            timeout or DEFAULT_TIMEOUT, _fault_delay)
         machine.arrays[prog.write_name] = session.read(prog.write_name)
         machine.runtime_stats = _fill_stats(machine.stats, replies)
+    except WorkerCrashError as err:
+        from ..analysis import cite_certificate
+
+        cite_certificate(err, cert)
+        raise
     finally:
         session.close()
     return machine

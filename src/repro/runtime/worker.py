@@ -264,7 +264,7 @@ def _run_clause(inst, rid, arrays, remaining, rank, nprocs, inboxes,
         except queue_mod.Empty:
             raise TimeoutError(
                 f"worker {rank} timed out draining messages "
-                f"({len(missing)} pending)")
+                f"({len(missing)} pending)") from None
         mid, dst, src, pos, payload = item
         if mid == rid:
             fill(dst, src, pos, payload)
