@@ -1,0 +1,323 @@
+"""Record ``repro serve`` results into BENCH_serve.json.
+
+A daemon is started on a Unix socket and hammered by pools of client
+threads (one connection each — exactly how real clients multiplex the
+protocol).  For each concurrency in {8, 64, 256} the benchmark measures
+a *cold* burst (caches dropped via the ``clear`` op, every request
+racing to compile the same multi-clause program with verification) and
+a *warm* burst (same requests against fully warm structural caches),
+recording req/s and p50/p99 latency.  A final ablation repeats the
+64-way cold burst against a ``--no-single-flight`` daemon.
+
+Asserted invariants (the issue's acceptance bar):
+
+* at concurrency 64, warm p50 compile latency is >= 10x better than
+  cold p50 — the warm caches, not the socket, dominate;
+* a cold 64-way identical burst executes the compile pipeline exactly
+  once (``compiles_executed == 1``: single-flight), while the ablation
+  daemon executes it many times;
+* a served seeded ``run`` returns arrays bit-identical to an
+  in-process fused execution.
+
+``--smoke`` runs concurrency 4 only, checks the invariants that do not
+need scale (single-flight exactly-once, bit-identity), and writes no
+JSON (CI uses it).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+from statistics import median, quantiles
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.serve import ServeClient, connect  # noqa: E402
+
+MIN_WARM_SPEEDUP = 10.0
+HEADLINE_CONCURRENCY = 64
+
+#: six chained clauses + program-level verification: expensive enough
+#: cold (~100 ms of pipeline + verifier work) that the warm
+#: structural-cache hit is the entire story
+PROGRAM = """
+for i := 1 to n - 2 par do
+    B[i] := A[i - 1] + 2 * A[i] + A[i + 1];
+od;
+for i := 1 to n - 2 par do
+    C[i] := B[i - 1] + B[i + 1];
+od;
+for i := 0 to n - 1 par do
+    D[i] := C[i] * C[i] + B[i];
+od;
+for i := 1 to n - 2 par do
+    E[i] := D[i - 1] + D[i + 1] + C[i];
+od;
+for i := 1 to n - 2 par do
+    F[i] := E[i - 1] + 2 * E[i] + E[i + 1];
+od;
+for i := 0 to n - 1 par do
+    G[i] := F[i] + E[i] * D[i];
+od;
+"""
+N = 2048
+PMAX = 8
+ARRAYS = [f"{x}=block:{N}" for x in "ABCDEFG"]
+PARAMS = {"n": N}
+
+RUN_PROG = ("for i := 1 to 22 par do\n"
+            "    A[i] := 2 * (B[i - 1] + B[i + 1]);\n"
+            "od;\n")
+RUN_ARRAYS = ["A=block:24", "B=block:24"]
+
+
+def compile_request():
+    return {"program": PROGRAM, "arrays": list(ARRAYS),
+            "params": dict(PARAMS), "pmax": PMAX, "verify": True}
+
+
+def start_daemon(sock, *extra):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(Path(__file__).resolve().parent.parent / "src"),
+         env.get("PYTHONPATH", "")]).rstrip(os.pathsep)
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--unix", sock, *extra],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+    line = proc.stdout.readline()
+    if "listening on" not in line:
+        raise RuntimeError(f"daemon failed to start: {line!r} "
+                           f"{proc.stderr.read()}")
+    return proc
+
+
+def stop_daemon(proc, sock):
+    try:
+        with ServeClient(sock) as c:
+            c.call("shutdown")
+    except Exception:
+        pass
+    try:
+        proc.wait(timeout=30)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        proc.wait(timeout=10)
+    proc.stdout.close()
+    proc.stderr.close()
+
+
+def burst(sock, concurrency, timeout=300.0):
+    """Fire one identical compile from *concurrency* threads at once;
+    return (per-request latencies in seconds, wall-clock seconds)."""
+    barrier = threading.Barrier(concurrency)
+    latencies = [None] * concurrency
+    failures = []
+    lock = threading.Lock()
+
+    def worker(slot):
+        try:
+            # retrying connect: hundreds of simultaneous connects can
+            # transiently overflow the accept queue (EAGAIN)
+            with connect(sock, retries=100, delay=0.02,
+                         timeout=timeout) as c:
+                barrier.wait()
+                t0 = time.perf_counter()
+                c.call("compile", **compile_request())
+                dt = time.perf_counter() - t0
+            latencies[slot] = dt
+        except Exception as e:  # noqa: BLE001 — surfaced below
+            with lock:
+                failures.append(e)
+            try:
+                barrier.abort()
+            except Exception:
+                pass
+
+    threads = [threading.Thread(target=worker, args=(i,))
+               for i in range(concurrency)]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=timeout)
+    wall = time.perf_counter() - t0
+    if failures:
+        raise RuntimeError(f"{len(failures)} request(s) failed: "
+                           f"{failures[0]}")
+    return [lt for lt in latencies if lt is not None], wall
+
+
+def percentile(samples, q):
+    if len(samples) == 1:
+        return samples[0]
+    cuts = quantiles(samples, n=100, method="inclusive")
+    return cuts[max(0, min(98, int(q) - 1))]
+
+
+def row_from(phase, concurrency, latencies, wall, stats_before,
+             stats_after):
+    return {
+        "phase": phase,
+        "concurrency": concurrency,
+        "requests": len(latencies),
+        "wall_s": round(wall, 4),
+        "req_per_s": round(len(latencies) / wall, 1),
+        "p50_ms": round(median(latencies) * 1e3, 3),
+        "p99_ms": round(percentile(latencies, 99) * 1e3, 3),
+        "max_ms": round(max(latencies) * 1e3, 3),
+        "compiles_executed": (stats_after["compiles_executed"]
+                              - stats_before["compiles_executed"]),
+        "coalesced": (stats_after["singleflight"]["coalesced"]
+                      - stats_before["singleflight"]["coalesced"]),
+    }
+
+
+def server_stats(sock):
+    with ServeClient(sock) as c:
+        return c.call("stats")["server"]
+
+
+def measure_pair(sock, concurrency):
+    """One cold burst (after ``clear``) and one warm burst."""
+    with ServeClient(sock) as c:
+        c.call("clear")
+    before = server_stats(sock)
+    lat_cold, wall_cold = burst(sock, concurrency)
+    mid = server_stats(sock)
+    lat_warm, wall_warm = burst(sock, concurrency)
+    after = server_stats(sock)
+    return (row_from("cold", concurrency, lat_cold, wall_cold, before, mid),
+            row_from("warm", concurrency, lat_warm, wall_warm, mid, after))
+
+
+def check_bit_identity(sock):
+    """A served seeded run must match in-process fused exactly."""
+    from repro.cli import parse_decomposition
+    from repro.codegen import compile_clause, run_distributed
+    from repro.frontend import translate_source
+
+    with ServeClient(sock) as c:
+        served = c.call("run", program=RUN_PROG, arrays=RUN_ARRAYS,
+                        seed=11, backend="fused")
+    assert served["match_reference"] is True
+    decomps = dict(parse_decomposition(a, 4) for a in RUN_ARRAYS)
+    rng = np.random.default_rng(11)
+    env = {name: rng.random(dec.n) for name, dec in decomps.items()}
+    clause = list(translate_source(RUN_PROG, {}))[0]
+    plan = compile_clause(clause, decomps)
+    expected = run_distributed(plan, env, backend="fused").collect("A")
+    assert served["arrays"]["A"] == expected.tolist(), \
+        "served arrays diverge from in-process fused execution"
+    return True
+
+
+def main(argv=None):
+    smoke = "--smoke" in (argv or sys.argv[1:])
+    concurrencies = [4] if smoke else [8, 64, 256]
+    headline_c = 4 if smoke else HEADLINE_CONCURRENCY
+    tmp = tempfile.mkdtemp(prefix="repro-bench-serve-")
+    sock = os.path.join(tmp, "bench.sock")
+    rows = []
+
+    proc = start_daemon(sock)
+    try:
+        connect(sock).close()
+        for c in concurrencies:
+            cold, warm = measure_pair(sock, c)
+            rows.append(cold)
+            rows.append(warm)
+            print(f"  c={c:<4} cold p50={cold['p50_ms']:>9.2f} ms "
+                  f"p99={cold['p99_ms']:>9.2f} ms "
+                  f"({cold['req_per_s']} req/s, "
+                  f"{cold['compiles_executed']} compile(s))")
+            print(f"  c={c:<4} warm p50={warm['p50_ms']:>9.2f} ms "
+                  f"p99={warm['p99_ms']:>9.2f} ms "
+                  f"({warm['req_per_s']} req/s)")
+        bit_identical = check_bit_identity(sock)
+    finally:
+        stop_daemon(proc, sock)
+
+    # ablation: the same cold burst without service-level single-flight
+    sock2 = os.path.join(tmp, "bench-nosf.sock")
+    proc2 = start_daemon(sock2, "--no-single-flight")
+    try:
+        connect(sock2).close()
+        ablation_cold, _ = measure_pair(sock2, headline_c)
+    finally:
+        stop_daemon(proc2, sock2)
+    print(f"  ablation (no single-flight) c={headline_c} "
+          f"cold p50={ablation_cold['p50_ms']:.2f} ms, "
+          f"{ablation_cold['compiles_executed']} compiles")
+
+    cold64 = next(r for r in rows
+                  if r["phase"] == "cold" and
+                  r["concurrency"] == headline_c)
+    warm64 = next(r for r in rows
+                  if r["phase"] == "warm" and
+                  r["concurrency"] == headline_c)
+    speedup = cold64["p50_ms"] / max(warm64["p50_ms"], 1e-9)
+
+    assert cold64["compiles_executed"] == 1, (
+        f"single-flight must collapse a cold identical burst onto ONE "
+        f"pipeline execution, saw {cold64['compiles_executed']}")
+    assert cold64["coalesced"] == headline_c - 1, (
+        f"expected {headline_c - 1} coalesced waiters, "
+        f"saw {cold64['coalesced']}")
+    assert ablation_cold["compiles_executed"] > 1, (
+        "the --no-single-flight ablation should execute the service "
+        "compile once per request")
+    if not smoke:
+        assert speedup >= MIN_WARM_SPEEDUP, (
+            f"warm p50 must beat cold p50 by >= {MIN_WARM_SPEEDUP}x at "
+            f"concurrency {headline_c}; measured {speedup:.1f}x")
+
+    print(f"  headline: warm p50 {warm64['p50_ms']:.2f} ms vs cold "
+          f"{cold64['p50_ms']:.2f} ms at c={headline_c} "
+          f"-> {speedup:.1f}x (gate {MIN_WARM_SPEEDUP}x)")
+    print(f"  bit-identity vs in-process fused: {bit_identical}")
+
+    if smoke:
+        print("smoke OK (no JSON written)")
+        return 0
+
+    out = {
+        "bench": "serve",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "numpy": np.__version__,
+        "program_clauses": 6,
+        "program_n": N,
+        "verify": True,
+        "concurrencies": concurrencies,
+        "headline_concurrency": headline_c,
+        "min_warm_speedup": MIN_WARM_SPEEDUP,
+        "warm_over_cold_p50": round(speedup, 1),
+        "bit_identical_run": bit_identical,
+        "single_flight": {
+            "cold_compiles_executed": cold64["compiles_executed"],
+            "cold_coalesced": cold64["coalesced"],
+            "ablation_no_single_flight": ablation_cold,
+        },
+        "rows": rows,
+    }
+    path = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+    path.write_text(json.dumps(out, indent=2) + "\n")
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -140,6 +140,27 @@ def cmd_layout(args) -> int:
 
 
 def cmd_compile(args) -> int:
+    if getattr(args, "json", False):
+        # machine-readable mode: the JSON cache snapshot is the ONLY
+        # stdout output (the serve stats endpoint and the bench harness
+        # parse it); the compilation itself still runs normally
+        import contextlib
+        import io
+        import json
+
+        from .cacheinfo import cache_stats
+
+        with contextlib.redirect_stdout(io.StringIO()):
+            rc = _compile_body(args)
+        print(json.dumps(cache_stats(), indent=2))
+        return rc
+    rc = _compile_body(args)
+    if getattr(args, "cache_stats", False):
+        print_cache_stats()
+    return rc
+
+
+def _compile_body(args) -> int:
     program = _load_program(args)
     decomps = _decomps(args)
     for clause in program:
@@ -211,8 +232,6 @@ def cmd_compile(args) -> int:
             print()
             print(pir.trace.pretty(verbose=args.verbose))
         print()
-    if getattr(args, "cache_stats", False):
-        print_cache_stats()
     return 0
 
 
@@ -239,19 +258,15 @@ def _explain_native(plan, kernels) -> None:
 
 def print_cache_stats() -> None:
     """One unified block: plan, Table I, kernel, native, program, and
-    verifier-report caches."""
-    from .analysis import verify_cache_info
-    from .pipeline import (
-        kernel_cache_info,
-        native_cache_info,
-        plan_cache_info,
-        program_cache_info,
-    )
-    from .sets.table1 import table1_cache_info
+    verifier-report caches (``--json`` emits the same snapshot as one
+    machine-readable object, see :func:`repro.cacheinfo.cache_stats`)."""
+    from .cacheinfo import cache_stats
 
-    pc, tc = plan_cache_info(), table1_cache_info()
-    kc, gc = kernel_cache_info(), program_cache_info()
-    nc, vc = native_cache_info(), verify_cache_info()
+    cs = cache_stats()
+    pc, tc = cs["plan"], cs["table1"]
+    kc, gc = cs["kernel"], cs["program"]
+    nc, vc = cs["native"], cs["verify"]
+    sf = cs["singleflight"]
     print("caches:")
     print(f"  plan:    hits={pc['hits']} misses={pc['misses']} "
           f"evictions={pc['evictions']} "
@@ -261,7 +276,8 @@ def print_cache_stats() -> None:
           f"size={tc['size']}/{tc['maxsize']}")
     print(f"  kernel:  hits={kc['hits']} misses={kc['misses']} "
           f"evictions={kc['evictions']} "
-          f"size={kc['size']}/{kc['maxsize']} enabled={kc['enabled']}")
+          f"size={kc['size']}/{kc['maxsize']} "
+          f"bytes={kc['bytes']}/{kc['max_bytes']} enabled={kc['enabled']}")
     print(f"  native:  builds={nc['builds']} hits={nc['hits']} "
           f"failures={nc['failures']} disposed={nc['disposed']} "
           f"jit={nc['jit_s'] * 1e3:.1f}ms mode={nc['mode']} "
@@ -272,6 +288,8 @@ def print_cache_stats() -> None:
     print(f"  verify:  hits={vc['hits']} misses={vc['misses']} "
           f"evictions={vc['evictions']} "
           f"size={vc['size']}/{vc['maxsize']} enabled={vc['enabled']}")
+    print(f"  flight:  leaders={sf['leaders']} waits={sf['waits']} "
+          f"inflight={sf['inflight']}")
 
 
 def cmd_check(args) -> int:
@@ -493,6 +511,57 @@ def cmd_derive(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from .serve import serve_main
+
+    return serve_main(args)
+
+
+def cmd_client(args) -> int:
+    """``repro client ADDRESS OP [...]``: one request, JSON to stdout."""
+    import json
+
+    from .serve import ServeClient, ServeError
+
+    req: Dict[str, object] = {"op": args.op, "tenant": args.tenant}
+    if args.op in ("compile", "check", "run"):
+        if not args.file:
+            raise SystemExit(f"op {args.op!r} needs --file")
+        source = sys.stdin.read() if args.file == "-" \
+            else _read_file(args.file)
+        req.update({
+            "program": source,
+            "arrays": list(args.array),
+            "params": _parse_params(args.param),
+            "pmax": args.pmax,
+            "steps": args.steps,
+            "swap": list(args.swap),
+            "backend": args.backend,
+        })
+        if args.op == "compile":
+            req["verify"] = args.verify
+        if args.op in ("check", "run"):
+            req["strict"] = args.strict
+        if args.op == "run":
+            req["seed"] = args.seed
+            if args.shared:
+                req["shared"] = True
+    try:
+        with ServeClient(args.address) as client:
+            result = client.call(**req)
+    except ServeError as e:
+        print(json.dumps({"ok": False,
+                          "error": {"code": e.code, "message": str(e)}},
+                         indent=2))
+        return 1
+    except (OSError, ConnectionError) as e:
+        print(f"error: cannot reach repro-serve at {args.address!r}: {e}",
+              file=sys.stderr)
+        return 1
+    print(json.dumps({"ok": True, "result": result}, indent=2))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     ap = argparse.ArgumentParser(
         prog="repro",
@@ -540,6 +609,11 @@ def build_parser() -> argparse.ArgumentParser:
                            "enumerator-, kernel-, native- (JIT time), and "
                            "program-cache hit/miss/eviction counters "
                            "after compiling")
+    comp.add_argument("--json", action="store_true",
+                      help="with --cache-stats: emit the cache counters "
+                           "as one machine-readable JSON object (the "
+                           "only stdout output; the serve stats endpoint "
+                           "and bench harness parse it)")
     comp.add_argument("--steps", type=int, default=1, metavar="N",
                       help="compile the program as an N-iteration time "
                            "loop (repeat form; shows the pipelining "
@@ -618,6 +692,61 @@ def build_parser() -> argparse.ArgumentParser:
     der = sub.add_parser("derive", help="print the §2.6 rewrite chain")
     common(der)
     der.set_defaults(fn=cmd_derive)
+
+    srv = sub.add_parser(
+        "serve", help="long-lived async compile-and-run daemon sharing "
+                      "the warm caches across many clients "
+                      "(newline-delimited JSON protocol; docs/serving.md)")
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=0, metavar="N",
+                     help="TCP port (0 = ephemeral; the bound address is "
+                          "printed on startup)")
+    srv.add_argument("--unix", default=None, metavar="PATH",
+                     help="listen on a Unix socket instead of TCP")
+    srv.add_argument("--workers", type=int, default=None, metavar="N",
+                     help="executor thread count for CPU-heavy compiles "
+                          "and runs (default: ThreadPoolExecutor's)")
+    srv.add_argument("--quota", type=int, default=0, metavar="N",
+                     help="per-tenant concurrent in-flight request cap "
+                          "(0 = unlimited)")
+    srv.add_argument("--request-timeout", type=float, default=None,
+                     metavar="SEC",
+                     help="per-request deadline; a lapsed request gets a "
+                          "timeout error while any coalesced compile "
+                          "keeps running")
+    srv.add_argument("--no-single-flight", action="store_true",
+                     help="disable request coalescing (benchmark "
+                          "ablation; identical concurrent compiles each "
+                          "occupy an executor slot)")
+    srv.add_argument("--drain-timeout", type=float, default=10.0,
+                     metavar="SEC",
+                     help="grace period for in-flight requests on "
+                          "shutdown/SIGTERM before pools are disposed")
+    srv.set_defaults(fn=cmd_serve)
+
+    cli = sub.add_parser(
+        "client", help="send one request to a running repro-serve daemon "
+                       "and print the JSON response")
+    cli.add_argument("address", help="host:port or Unix socket path")
+    cli.add_argument("op", choices=["ping", "compile", "check", "run",
+                                    "stats", "clear", "shutdown"])
+    cli.add_argument("--file", default=None,
+                     help="program file ('-' for stdin) for "
+                          "compile/check/run")
+    cli.add_argument("--pmax", type=int, default=4)
+    cli.add_argument("--array", action="append", default=[],
+                     metavar="NAME=KIND:SIZE[:PARAM]")
+    cli.add_argument("--param", action="append", default=[],
+                     metavar="NAME=INT")
+    cli.add_argument("--seed", type=int, default=0)
+    cli.add_argument("--steps", type=int, default=1, metavar="N")
+    cli.add_argument("--swap", action="append", default=[], metavar="A:B")
+    cli.add_argument("--backend", default="fused", metavar="BACKEND")
+    cli.add_argument("--shared", action="store_true")
+    cli.add_argument("--verify", action="store_true")
+    cli.add_argument("--strict", action="store_true")
+    cli.add_argument("--tenant", default="default")
+    cli.set_defaults(fn=cmd_client)
     return ap
 
 

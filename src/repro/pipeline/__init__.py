@@ -14,8 +14,10 @@ from typing import Dict, Optional, Sequence
 
 from ..core.clause import Clause
 from .cache import (
+    CompileFlight,
     PlanCache,
     clear_plan_cache,
+    compile_flight,
     enable_plan_cache,
     plan_cache,
     plan_cache_info,
@@ -78,6 +80,8 @@ __all__ = [
     "default_passes",
     "access_spec",
     "compile_plan",
+    "CompileFlight",
+    "compile_flight",
     "PlanCache",
     "plan_cache",
     "plan_key",
@@ -135,6 +139,14 @@ def compile_plan(
     shares the same key: a verified entry serves unverified lookups (the
     verdict rides along), and a hit on an unverified entry is verified
     on demand, with the report attached back to the cached plan.
+
+    Concurrent misses on one key are *single-flight*: one thread leads
+    the compile, every other blocks on
+    :data:`~repro.pipeline.cache.compile_flight` and re-reads the cache
+    when the leader finishes — N threads hammering one structural key
+    run the pass pipeline exactly once.  A leader that raises releases
+    without storing (no poison entries); its waiters retry, one of them
+    becoming the new leader.
     """
     key = None
     if passes is None:
@@ -142,13 +154,58 @@ def compile_plan(
             clause, decomps, successor=successor,
             require_read_decomps=require_read_decomps,
         )
-        if key is not None:
-            hit = plan_cache.lookup(key, clause, decomps, successor)
-            if hit is not None:
-                if verify and hit.diagnostics is None:
-                    PassManager([VerifyPlan()]).run(hit)
-                    plan_cache.attach_diagnostics(key, hit.diagnostics)
-                return hit
+    if key is None:
+        return _compile_fresh(clause, decomps, successor,
+                              require_read_decomps, passes, verify)
+    hit = _cached_hit(key, clause, decomps, successor, verify)
+    if hit is not None:
+        return hit
+    while True:
+        ev = compile_flight.acquire(key)
+        if ev is None:
+            break  # this thread leads the compile for the key
+        finished = ev.wait(timeout=_FLIGHT_WAIT)
+        hit = _cached_hit(key, clause, decomps, successor, verify)
+        if hit is not None:
+            return hit
+        if not finished:
+            # the leader is stuck (or glacially slow): compile
+            # independently rather than block forever — store simply
+            # overwrites whatever the leader eventually produces
+            ir = _compile_fresh(clause, decomps, successor,
+                                require_read_decomps, None, verify)
+            ir.trace.cache_key = key
+            plan_cache.store(key, ir)
+            return ir
+        # the leader failed (or its entry was already evicted): loop and
+        # contend for leadership ourselves
+    try:
+        ir = _compile_fresh(clause, decomps, successor,
+                            require_read_decomps, None, verify)
+        ir.trace.cache_key = key
+        plan_cache.store(key, ir)
+        return ir
+    finally:
+        compile_flight.release(key)
+
+
+#: how long a single-flight waiter trusts its leader before compiling
+#: independently (seconds) — a safety valve, not a tuning knob
+_FLIGHT_WAIT = 60.0
+
+
+def _cached_hit(key, clause, decomps, successor, verify):
+    hit = plan_cache.lookup(key, clause, decomps, successor)
+    if hit is None:
+        return None
+    if verify and hit.diagnostics is None:
+        PassManager([VerifyPlan()]).run(hit)
+        plan_cache.attach_diagnostics(key, hit.diagnostics)
+    return hit
+
+
+def _compile_fresh(clause, decomps, successor, require_read_decomps,
+                   passes, verify) -> PlanIR:
     ir = PlanIR(
         clause=clause,
         decomps=dict(decomps),
@@ -159,9 +216,6 @@ def compile_plan(
     if passes is None and verify:
         run_passes = default_passes(verify=True)
     PassManager(run_passes).run(ir)
-    if key is not None:
-        ir.trace.cache_key = key
-        plan_cache.store(key, ir)
     return ir
 
 

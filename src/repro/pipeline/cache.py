@@ -45,7 +45,9 @@ from ..core.view import ProjectedMap, SeparableMap
 from .trace import PipelineTrace
 
 __all__ = [
+    "CompileFlight",
     "PlanCache",
+    "compile_flight",
     "plan_key",
     "plan_cache",
     "enable_plan_cache",
@@ -283,6 +285,54 @@ def _clone_hit(ir, key: tuple, clause=None, decomps=None, successor=None):
         clone.reduction = recognize_reduction(clause)
     return clone
 
+
+# -- per-key single-flight ---------------------------------------------------
+
+class CompileFlight:
+    """Per-structural-key single-flight guard for the compile path.
+
+    A lock around ``get``/``put`` makes the cache *safe* but not
+    *single-compile*: sixteen threads missing on the same key would all
+    run the pass pipeline and store sixteen times.  ``compile_plan``
+    therefore elects one *leader* per in-flight key; every other thread
+    blocks on the leader's event and re-reads the cache once it fires.
+    A leader that fails releases without storing, so a failed compile is
+    never cached as poison — the next waiter simply becomes the new
+    leader and retries.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._events: Dict[tuple, threading.Event] = {}
+        self.leaders = 0
+        self.waits = 0
+
+    def acquire(self, key: tuple) -> Optional[threading.Event]:
+        """Elect: ``None`` means the caller leads (and MUST ``release``);
+        otherwise the returned event fires when the leader is done."""
+        with self._lock:
+            ev = self._events.get(key)
+            if ev is None:
+                self._events[key] = threading.Event()
+                self.leaders += 1
+                return None
+            self.waits += 1
+            return ev
+
+    def release(self, key: tuple) -> None:
+        with self._lock:
+            ev = self._events.pop(key, None)
+        if ev is not None:
+            ev.set()
+
+    def info(self) -> Dict[str, int]:
+        with self._lock:
+            return {"leaders": self.leaders, "waits": self.waits,
+                    "inflight": len(self._events)}
+
+
+#: the process-global compile single-flight used by ``compile_plan``
+compile_flight = CompileFlight()
 
 #: the process-global cache used by ``compile_plan``
 plan_cache = PlanCache()

@@ -36,6 +36,7 @@ backend falls back.
 
 from __future__ import annotations
 
+import os
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -402,18 +403,63 @@ def _dispose_native_tier(kernels: FusedKernels) -> None:
     dispose_native(kernels)
 
 
-class KernelCache:
-    """Thread-safe LRU cache of :class:`FusedKernels`, keyed by the plan
-    cache's structural keys — warm recompiles skip codegen entirely."""
+def _approx_nbytes(obj, _depth: int = 0) -> int:
+    """Approximate resident bytes of a kernel entry: ndarray buffers plus
+    generated source text, found by a bounded structural walk.  This is
+    an *accounting* estimate (the index arrays dominate by orders of
+    magnitude), not ``sys.getsizeof`` truth."""
+    if _depth > 8 or obj is None:
+        return 0
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, (str, bytes)):
+        return len(obj)
+    if isinstance(obj, (list, tuple)):
+        return sum(_approx_nbytes(x, _depth + 1) for x in obj)
+    if isinstance(obj, dict):
+        return sum(_approx_nbytes(x, _depth + 1) for x in obj.values())
+    if hasattr(obj, "__dataclass_fields__"):
+        return sum(_approx_nbytes(getattr(obj, name), _depth + 1)
+                   for name in obj.__dataclass_fields__)
+    return 0
 
-    def __init__(self, maxsize: Optional[int] = None):
+
+#: default resident-byte budget for the kernel cache (256 MiB);
+#: override with ``REPRO_CACHE_BYTES`` (read at construction time)
+_DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+
+def _env_max_bytes(default: int) -> int:
+    raw = os.environ.get("REPRO_CACHE_BYTES")
+    if not raw:
+        return default
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return default
+
+
+class KernelCache:
+    """Thread-safe, size-accounted LRU cache of :class:`FusedKernels`,
+    keyed by the plan cache's structural keys — warm recompiles skip
+    codegen entirely.  Eviction fires on *either* bound: entry count
+    (``maxsize`` / ``REPRO_CACHE_SIZE``) or resident bytes
+    (``max_bytes`` / ``REPRO_CACHE_BYTES``, counting the precomputed
+    gather/scatter index arrays and generated source)."""
+
+    def __init__(self, maxsize: Optional[int] = None,
+                 max_bytes: Optional[int] = None):
         self.maxsize = (_env_maxsize(_DEFAULT_MAXSIZE)
                         if maxsize is None else maxsize)
+        self.max_bytes = (_env_max_bytes(_DEFAULT_MAX_BYTES)
+                          if max_bytes is None else max_bytes)
         self.enabled = True
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.bytes = 0
         self._entries: "OrderedDict[tuple, FusedKernels]" = OrderedDict()
+        self._sizes: Dict[tuple, int] = {}
         self._lock = threading.Lock()
 
     def lookup(self, key: tuple) -> Optional[FusedKernels]:
@@ -427,12 +473,21 @@ class KernelCache:
             return k
 
     def store(self, key: tuple, kernels: FusedKernels) -> None:
+        nbytes = _approx_nbytes(kernels)  # sized outside the lock
         dropped = []
         with self._lock:
+            old = self._sizes.pop(key, None)
+            if old is not None:
+                self.bytes -= old
             self._entries[key] = kernels
             self._entries.move_to_end(key)
-            while len(self._entries) > self.maxsize:
-                _, evicted = self._entries.popitem(last=False)
+            self._sizes[key] = nbytes
+            self.bytes += nbytes
+            while len(self._entries) > 1 and (
+                    len(self._entries) > self.maxsize
+                    or self.bytes > self.max_bytes):
+                k, evicted = self._entries.popitem(last=False)
+                self.bytes -= self._sizes.pop(k, 0)
                 self.evictions += 1
                 dropped.append(evicted)
         for evicted in dropped:
@@ -442,9 +497,11 @@ class KernelCache:
         with self._lock:
             dropped = list(self._entries.values())
             self._entries.clear()
+            self._sizes.clear()
             self.hits = 0
             self.misses = 0
             self.evictions = 0
+            self.bytes = 0
         for evicted in dropped:
             _dispose_native_tier(evicted)
 
@@ -456,6 +513,8 @@ class KernelCache:
                 "evictions": self.evictions,
                 "size": len(self._entries),
                 "maxsize": self.maxsize,
+                "bytes": self.bytes,
+                "max_bytes": self.max_bytes,
                 "enabled": self.enabled,
             }
 

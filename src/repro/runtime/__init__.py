@@ -40,6 +40,7 @@ from .pool import (
     WorkerCrashError,
     WorkerPool,
     get_pool,
+    install_signal_handlers,
     runtime_info,
     shutdown_runtime,
 )
@@ -57,6 +58,7 @@ __all__ = [
     "WorkerPool",
     "active_segments",
     "get_pool",
+    "install_signal_handlers",
     "lower_dist",
     "lower_shared",
     "run_distributed_mp",

@@ -27,6 +27,7 @@ import atexit
 import itertools
 import multiprocessing as mp
 import os
+import signal
 import time
 from multiprocessing.connection import wait as _conn_wait
 from typing import Dict, List, Optional, Tuple
@@ -40,6 +41,7 @@ __all__ = [
     "WorkerCrashError",
     "WorkerPool",
     "get_pool",
+    "install_signal_handlers",
     "runtime_info",
     "shutdown_runtime",
 ]
@@ -324,6 +326,54 @@ class WorkerPool:
 
 _POOLS: Dict[int, WorkerPool] = {}
 _ATEXIT_REGISTERED = False
+_SIGNALS_INSTALLED = False
+
+
+def install_signal_handlers(signals=(signal.SIGTERM,)) -> bool:
+    """Drain and dispose every worker pool *before* interpreter teardown
+    on a terminating signal.
+
+    The atexit-registered :func:`shutdown_runtime` is not enough under
+    SIGTERM: Python's default action kills the process without running
+    atexit callbacks at all, and even when a handler re-enables them the
+    interpreter is already reaping daemonized children — the pool's
+    orderly ``exit``/terminate/join protocol races that teardown and can
+    leave ``/dev/shm`` segments behind.  This installs a handler (once,
+    chaining any previously installed Python-level handler) that shuts
+    the runtime down synchronously, then restores the default action and
+    re-raises the signal so the exit status stays conventional
+    (``128+signum``).
+
+    Returns ``False`` — without installing anything — when called off
+    the main thread, where CPython forbids ``signal.signal``; callers
+    like the serve daemon register their own loop-level handlers
+    instead.  Safe to call repeatedly.
+    """
+    global _SIGNALS_INSTALLED
+    if _SIGNALS_INSTALLED:
+        return True
+
+    def _make(prev):
+        def _handler(signum, frame):
+            shutdown_runtime()
+            if prev is not None:
+                prev(signum, frame)
+                return
+            signal.signal(signum, signal.SIG_DFL)
+            os.kill(os.getpid(), signum)
+        return _handler
+
+    try:
+        for sig in signals:
+            prev = signal.getsignal(sig)
+            if prev is signal.SIG_IGN:  # deliberately ignored: respect it
+                continue
+            chained = prev if callable(prev) else None
+            signal.signal(sig, _make(chained))
+    except ValueError:  # not the main thread
+        return False
+    _SIGNALS_INSTALLED = True
+    return True
 
 
 def get_pool(nprocs: int) -> WorkerPool:
@@ -338,6 +388,7 @@ def get_pool(nprocs: int) -> WorkerPool:
     if not _ATEXIT_REGISTERED:
         atexit.register(shutdown_runtime)
         _ATEXIT_REGISTERED = True
+    install_signal_handlers()  # best-effort; no-op off the main thread
     pool = WorkerPool(nprocs)
     _POOLS[nprocs] = pool
     return pool

@@ -1,0 +1,131 @@
+"""Blocking client for the serve protocol (scripting and benchmarks).
+
+One :class:`ServeClient` holds one connection; requests on it are
+serialized (the protocol answers in order).  Concurrency = many clients,
+exactly how the benchmark and smoke harnesses drive the daemon.
+
+Addresses: ``"host:port"`` for TCP, anything containing a ``/`` (or
+ending in ``.sock``) for a Unix socket path.
+
+    >>> with ServeClient("127.0.0.1:7455") as c:      # doctest: +SKIP
+    ...     c.call("ping")
+    {'pong': True}
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Any, Dict, Optional, Tuple, Union
+
+from .protocol import MAX_LINE, decode_line, encode
+
+__all__ = ["ServeClient", "ServeError", "connect"]
+
+
+class ServeError(RuntimeError):
+    """An error response from the daemon (``.code`` + message)."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(message)
+        self.code = code
+
+
+def _parse_address(address: Union[str, Tuple[str, int]]):
+    if isinstance(address, tuple):
+        return ("tcp", address)
+    if "/" in address or address.endswith(".sock"):
+        return ("unix", address)
+    host, sep, port = address.rpartition(":")
+    if not sep:
+        raise ValueError(
+            f"bad address {address!r}: expected host:port or a socket path")
+    return ("tcp", (host or "127.0.0.1", int(port)))
+
+
+class ServeClient:
+    """One connection speaking newline-delimited JSON."""
+
+    def __init__(self, address: Union[str, Tuple[str, int]],
+                 timeout: Optional[float] = 60.0):
+        self.kind, self.target = _parse_address(address)
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._buf = b""
+        self._seq = 0
+
+    # -- connection ---------------------------------------------------------
+
+    def connect(self) -> "ServeClient":
+        if self._sock is not None:
+            return self
+        if self.kind == "unix":
+            s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        else:
+            s = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        s.settimeout(self.timeout)
+        s.connect(self.target)
+        self._sock = s
+        return self
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+                self._buf = b""
+
+    def __enter__(self) -> "ServeClient":
+        return self.connect()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- requests -----------------------------------------------------------
+
+    def request(self, req: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one request object, return the raw response object."""
+        self.connect()
+        if "id" not in req:
+            self._seq += 1
+            req = {**req, "id": self._seq}
+        self._sock.sendall(encode(req))
+        return decode_line(self._readline())
+
+    def call(self, op: str, **fields) -> Dict[str, Any]:
+        """Send ``{op, **fields}``; return ``result`` or raise
+        :class:`ServeError` with the daemon's code and message."""
+        resp = self.request({"op": op, **fields})
+        if not resp.get("ok"):
+            err = resp.get("error") or {}
+            raise ServeError(err.get("code", "unknown"),
+                             err.get("message", "unknown error"))
+        return resp["result"]
+
+    def _readline(self) -> bytes:
+        while b"\n" not in self._buf:
+            if len(self._buf) > MAX_LINE:
+                raise ServeError("bad-response", "response line too long")
+            chunk = self._sock.recv(1 << 16)
+            if not chunk:
+                raise ServeError("disconnected",
+                                 "server closed the connection")
+            self._buf += chunk
+        line, self._buf = self._buf.split(b"\n", 1)
+        return line
+
+
+def connect(address, retries: int = 50,
+            delay: float = 0.1, timeout: Optional[float] = 60.0
+            ) -> ServeClient:
+    """Connect with retry — for scripts racing a daemon's startup."""
+    last: Optional[Exception] = None
+    for _ in range(max(1, retries)):
+        try:
+            return ServeClient(address, timeout=timeout).connect()
+        except OSError as e:
+            last = e
+            time.sleep(delay)
+    raise ConnectionError(
+        f"could not connect to repro-serve at {address!r}: {last}")

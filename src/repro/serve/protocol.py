@@ -1,0 +1,138 @@
+"""The serve wire protocol: newline-delimited JSON requests/responses.
+
+One request per line, one response per line, over a TCP or Unix-domain
+stream.  Responses on a connection come back in request order (the
+daemon processes a connection's requests sequentially; concurrency
+comes from many connections, which is how real clients multiplex).
+
+Request object::
+
+    {"op": <str>, "id": <any, echoed>, "tenant": <str, "default">,
+     ...op-specific fields}
+
+Ops and their fields (all compile-shaped ops share the program fields):
+
+``ping``      liveness probe -> ``{"pong": true}``
+``compile``   ``program`` (mini-language source), ``arrays`` (list of
+              ``NAME=KIND:SIZE[:PARAM]`` decomposition specs), ``params``
+              ({name: int}), ``pmax``, ``steps``, ``swap`` (list of
+              ``"A:B"``), ``backend``, ``verify`` (bool) -> per-clause
+              rules/cache flags plus a program section
+``check``     same program fields -> the ``repro check --json`` schema
+``run``       program fields plus ``seed`` (server-side deterministic
+              inputs, identical to the CLI's) or ``data`` ({name:
+              [floats]} explicit inputs), ``shared``, ``strict``,
+              ``processes``, ``timeout`` -> final arrays + stats
+``stats``     -> server counters + the full cache snapshot
+``clear``     admin: drop every cache, dispose worker pools
+``shutdown``  admin: acknowledge, then drain and exit gracefully
+
+Response object::
+
+    {"id": <echoed>, "ok": true,  "result": {...}}
+    {"id": <echoed>, "ok": false, "error": {"code": <str>, "message": <str>}}
+
+Error codes: ``bad-request`` (malformed JSON/fields/program/specs),
+``quota-exceeded`` (per-tenant in-flight cap), ``timeout`` (request
+deadline lapsed; an in-flight shared compile keeps running),
+``compile-error`` (the program failed to compile), ``run-error``
+(strict-mode refusal or a worker crash), ``internal``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = [
+    "ERR_BADREQ",
+    "ERR_COMPILE",
+    "ERR_INTERNAL",
+    "ERR_QUOTA",
+    "ERR_RUN",
+    "ERR_TIMEOUT",
+    "MAX_LINE",
+    "OPS",
+    "ProtocolError",
+    "decode_line",
+    "encode",
+    "error_response",
+    "ok_response",
+    "request_key",
+]
+
+OPS = frozenset({"ping", "compile", "check", "run", "stats", "clear",
+                 "shutdown"})
+
+ERR_BADREQ = "bad-request"
+ERR_QUOTA = "quota-exceeded"
+ERR_TIMEOUT = "timeout"
+ERR_COMPILE = "compile-error"
+ERR_RUN = "run-error"
+ERR_INTERNAL = "internal"
+
+#: per-line ceiling (requests carrying explicit array data included)
+MAX_LINE = 32 * 1024 * 1024
+
+
+class ProtocolError(ValueError):
+    """A line that is not a valid request object."""
+
+
+def encode(obj: Dict[str, Any]) -> bytes:
+    """One response/request line, newline-terminated."""
+    return json.dumps(obj, separators=(",", ":")).encode() + b"\n"
+
+
+def decode_line(line: bytes) -> Dict[str, Any]:
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError as e:
+        raise ProtocolError(f"request is not valid JSON: {e}") from None
+    if not isinstance(obj, dict):
+        raise ProtocolError(
+            f"request must be a JSON object, got {type(obj).__name__}")
+    return obj
+
+
+def ok_response(rid: Any, result: Dict[str, Any]) -> Dict[str, Any]:
+    return {"id": rid, "ok": True, "result": result}
+
+
+def error_response(rid: Any, code: str, message: str) -> Dict[str, Any]:
+    return {"id": rid, "ok": False,
+            "error": {"code": code, "message": message}}
+
+
+def request_key(req: Dict[str, Any]) -> Optional[Tuple]:
+    """Canonical coalescing key of a compile-shaped request, or ``None``
+    when the request carries fields that defeat coalescing.
+
+    Two requests with the same key would run the identical pipeline on
+    the identical inputs — the serve layer collapses them into one
+    in-flight compilation (single-flight).  The key is purely textual
+    (source + specs + scalars): a false *miss* merely compiles twice,
+    and a false *hit* is impossible because the underlying structural
+    plan-cache key re-derives identity from the parsed forms anyway.
+    """
+    params = req.get("params") or {}
+    swap = req.get("swap") or []
+    arrays = req.get("arrays") or []
+    if not isinstance(params, dict) or not isinstance(swap, (list, tuple)) \
+            or not isinstance(arrays, (list, tuple)):
+        return None
+    try:
+        return (
+            str(req.get("op")),
+            str(req.get("program", "")),
+            tuple(str(a) for a in arrays),
+            tuple(sorted((str(k), int(v)) for k, v in params.items())),
+            int(req.get("pmax", 4)),
+            int(req.get("steps", 1) or 1),
+            tuple(str(s) for s in swap),
+            str(req.get("backend", "fused")),
+            bool(req.get("verify", False)),
+            bool(req.get("strict", False)),
+        )
+    except (TypeError, ValueError):
+        return None

@@ -1,0 +1,165 @@
+"""The asyncio daemon: sockets in, :class:`ReproService` responses out.
+
+``repro serve`` binds a TCP port (``--host``/``--port``) or a Unix
+socket (``--unix``) and speaks the newline-delimited JSON protocol of
+:mod:`repro.serve.protocol`.  Connections are cheap (one reader task
+each); a connection's requests are processed in order, and concurrency
+comes from many connections sharing the service's executor and caches.
+
+Lifecycle: the daemon prints one ``repro-serve listening on ...`` line
+once bound (scripts parse it to learn an ephemeral port), then serves
+until a ``shutdown`` op, SIGTERM, or SIGINT.  All three drain
+gracefully: stop accepting, let in-flight requests finish (bounded by
+``--drain-timeout``), then dispose the executor, the worker pools and
+any shared-memory segments — a SIGTERM'd daemon leaves zero
+``/dev/shm`` entries and zero child processes behind.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+from typing import Optional
+
+from .protocol import (
+    ERR_BADREQ,
+    MAX_LINE,
+    ProtocolError,
+    decode_line,
+    encode,
+    error_response,
+)
+from .service import ReproService
+
+__all__ = ["ReproServer", "serve_main"]
+
+
+class ReproServer:
+    """One listening endpoint wired to one :class:`ReproService`."""
+
+    def __init__(self, service: ReproService, *,
+                 host: str = "127.0.0.1", port: int = 0,
+                 unix: Optional[str] = None, drain_timeout: float = 10.0,
+                 quiet: bool = False):
+        self.service = service
+        self.host = host
+        self.port = port
+        self.unix = unix
+        self.drain_timeout = drain_timeout
+        self.quiet = quiet
+        self.address: Optional[str] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._stop = asyncio.Event()
+        self._active = 0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> None:
+        # backlog sized for benchmark-style connection storms (hundreds
+        # of clients connecting in the same instant)
+        if self.unix:
+            self._server = await asyncio.start_unix_server(
+                self._client, path=self.unix, limit=MAX_LINE, backlog=512)
+            self.address = self.unix
+        else:
+            self._server = await asyncio.start_server(
+                self._client, host=self.host, port=self.port,
+                limit=MAX_LINE, backlog=512)
+            sock = self._server.sockets[0]
+            host, port = sock.getsockname()[:2]
+            self.address = f"{host}:{port}"
+        self._install_signals()
+        if not self.quiet:
+            print(f"repro-serve listening on {self.address}", flush=True)
+
+    def _install_signals(self) -> None:
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, self.initiate_shutdown)
+            except (NotImplementedError, RuntimeError):
+                pass  # non-Unix loop or nested loop: rely on shutdown op
+
+    def initiate_shutdown(self) -> None:
+        """Idempotent: flip the drain flag and wake ``serve_forever``."""
+        self.service.draining = True
+        self._stop.set()
+
+    async def serve_forever(self) -> None:
+        """Serve until shutdown is initiated, then drain gracefully."""
+        await self._stop.wait()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        deadline = asyncio.get_running_loop().time() + self.drain_timeout
+        while self._active and \
+                asyncio.get_running_loop().time() < deadline:
+            await asyncio.sleep(0.02)
+        self.service.close()
+        from ..runtime import shutdown_runtime
+
+        shutdown_runtime()
+        if not self.quiet:
+            print("repro-serve drained and stopped", flush=True)
+
+    # -- per-connection loop ------------------------------------------------
+
+    async def _client(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        self._active += 1
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    writer.write(encode(error_response(
+                        None, ERR_BADREQ,
+                        f"request line exceeds {MAX_LINE} bytes")))
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    req = decode_line(line)
+                except ProtocolError as e:
+                    writer.write(encode(error_response(
+                        None, ERR_BADREQ, str(e))))
+                    await writer.drain()
+                    continue
+                response = await self.service.handle(req)
+                writer.write(encode(response))
+                await writer.drain()
+                if isinstance(req, dict) and req.get("op") == "shutdown":
+                    self.initiate_shutdown()
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client went away; any coalesced compile keeps running
+        finally:
+            self._active -= 1
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+
+async def _amain(args) -> int:
+    service = ReproService(
+        workers=args.workers, quota=args.quota,
+        request_timeout=args.request_timeout,
+        single_flight=not args.no_single_flight)
+    server = ReproServer(
+        service, host=args.host, port=args.port, unix=args.unix,
+        drain_timeout=args.drain_timeout)
+    await server.start()
+    await server.serve_forever()
+    return 0
+
+
+def serve_main(args) -> int:
+    """``repro serve`` entry point (arguments from the CLI parser)."""
+    try:
+        return asyncio.run(_amain(args))
+    except KeyboardInterrupt:  # pragma: no cover — signal handler races
+        return 0

@@ -138,7 +138,8 @@ class TestKernelCache:
         clear_plan_cache()
         assert kernel_cache_info() == {
             "hits": 0, "misses": 0, "evictions": 0, "size": 0,
-            "maxsize": kernel_cache_info()["maxsize"], "enabled": True,
+            "maxsize": kernel_cache_info()["maxsize"], "bytes": 0,
+            "max_bytes": kernel_cache_info()["max_bytes"], "enabled": True,
         }
 
     def test_disable_plan_cache_disables_kernel_cache(self):
