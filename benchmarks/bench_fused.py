@@ -58,6 +58,11 @@ from repro.pipeline import clear_plan_cache
 from repro.pipeline.cache import plan_cache
 from repro.sets.table1 import clear_table1_cache
 
+try:
+    from .conftest import bench_metadata
+except ImportError:  # run as a script: benchmarks/ is sys.path[0]
+    from conftest import bench_metadata
+
 REPS = 9
 SEED = 2026
 HEADLINE_MIN_SPEEDUP = 1.5
@@ -216,6 +221,7 @@ def main() -> int:
               f"({entry['kernel_cache_speedup']:.0f}x)")
 
     out = {
+        "meta": bench_metadata(),
         "benchmark": "fused kernel backend: compile-once node kernels "
                      "with flat ndarray memory and a kernel cache",
         "reps": REPS,

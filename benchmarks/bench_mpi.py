@@ -1,0 +1,314 @@
+"""Record MPI-backend results into BENCH_mpi.json.
+
+For the E13 1-D stencil and the E19 2-D five-point stencil at rank
+counts P in {2, 4, 8} on one host, each compiled plan runs end to end
+under the in-process fused backend and under ``backend="mpi"`` — the
+SPMD runner with private rank memories, nonblocking point-to-point halo
+messages, and the overlap schedule (post Irecvs / Isends, compute the
+interior while transfers are in flight, drain, boundary).  A third
+workload drives the acceptance pipeline: the 1000-step pipelined
+Jacobi time loop (``U := (V[i-1]+V[i+1])/2`` with a U/V buffer swap,
+ONE world across all steps, end-of-step barriers only), reported as
+steps/second.
+
+Transport: with mpi4py + mpiexec installed the rows launch real MPI
+worlds; otherwise the benchmark pins ``REPRO_MPI_STUB=1`` and the same
+rank code runs on the threaded stub transport — the ``mode`` field on
+every row and the metadata block record which one actually ran.
+
+Asserted invariants (the issue's acceptance bar):
+
+* mpi results are bit-identical to fused on **every** row
+  (``identical_results`` true), including all 1000 steps of the
+  pipelined loop;
+* message/element counters match fused count for count on the clause
+  workloads.
+
+The communication coefficients cited in the output come from
+``repro calibrate`` (the measured machine description — loaded from
+``$REPRO_MACHINE_FILE`` when set, else measured inline), not from the
+hardcoded ``alpha=50.0`` cost-model preset.
+
+``--smoke`` runs tiny sizes at P=4 only, checks bit-identity, and
+writes no JSON (the CI mpi job uses it).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_mpi.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+from statistics import median
+
+import numpy as np
+
+from repro.codegen import compile_clause, run_distributed
+from repro.codegen.nddist import (
+    collect_nd,
+    compile_clause_nd_dist,
+    run_distributed_nd,
+)
+from repro.core import (
+    AffineF,
+    Bounds,
+    Clause,
+    Const,
+    IdentityF,
+    IndexSet,
+    Ref,
+    SeparableMap,
+    copy_env,
+)
+from repro.core.clause import Program
+from repro.core.expr import BinOp
+from repro.decomp import Block, GridDecomposition
+from repro.machine.calibrate import calibrate, load_machine
+from repro.mpi import mpi_support, reset_mpi_support
+from repro.pipeline import clear_plan_cache, compile_program, run_program
+
+try:
+    from .conftest import bench_metadata
+except ImportError:  # run as a script: benchmarks/ is sys.path[0]
+    from conftest import bench_metadata
+
+REPS = 5
+SEED = 2026
+PROCS = (2, 4, 8)
+LOOP_STEPS = 1000
+
+
+def _median_of(fn, reps=REPS):
+    times, out = [], None
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        out = fn()
+        times.append(time.perf_counter() - t0)
+    return median(times), out
+
+
+def _e13_clause(n):
+    return Clause(
+        domain=IndexSet.range1d(1, n - 2),
+        lhs=Ref("A", SeparableMap([AffineF(1, 0)])),
+        rhs=Ref("B", SeparableMap([AffineF(1, -1)]))
+        + Ref("B", SeparableMap([AffineF(1, 1)])),
+    )
+
+
+def _e19_clause(n):
+    def sref(di, dj):
+        fi = AffineF(1, di) if di else IdentityF()
+        fj = AffineF(1, dj) if dj else IdentityF()
+        return Ref("S", SeparableMap([fi, fj]))
+
+    return Clause(
+        IndexSet(Bounds((1, 1), (n - 2, n - 2))),
+        Ref("T", SeparableMap([IdentityF(), IdentityF()])),
+        BinOp("*", Const(0.25),
+              BinOp("+", BinOp("+", sref(-1, 0), sref(1, 0)),
+                    BinOp("+", sref(0, -1), sref(0, 1)))),
+    )
+
+
+def _grid(n, p):
+    side = {2: (2, 1), 4: (2, 2), 8: (4, 2)}[p]
+    return GridDecomposition([Block(n, side[0]), Block(n, side[1])])
+
+
+def _counters(machine):
+    s = machine.stats
+    return (s.total_messages(), s.total_elements_moved())
+
+
+def _workloads(smoke, procs):
+    """Yield (label, p, compile(), run(plan, backend), collect(m))."""
+    n = 1 << 12 if smoke else 1 << 16
+    rng = np.random.default_rng(SEED)
+    env13 = {"A": np.zeros(n), "B": rng.random(n)}
+    for p in procs:
+        decomps = {"A": Block(n, p), "B": Block(n, p)}
+        yield ("e13-stencil-1d", p,
+               lambda decomps=decomps, n=n: compile_clause(
+                   _e13_clause(n), decomps),
+               lambda plan, backend, env=env13, p=p: run_distributed(
+                   plan, copy_env(env), backend=backend, processes=p),
+               lambda m: m.collect("A"))
+
+    n2 = 48 if smoke else 256
+    rng = np.random.default_rng(SEED)
+    env19 = {"S": rng.random((n2, n2)), "T": np.zeros((n2, n2))}
+    for p in procs:
+        g = _grid(n2, p)
+        yield ("e19-grid-2d", p,
+               lambda g=g, n2=n2: compile_clause_nd_dist(
+                   _e19_clause(n2), {"T": g, "S": g}),
+               lambda plan, backend, env=env19, p=p: run_distributed_nd(
+                   plan, copy_env(env), backend=backend, processes=p),
+               lambda m: collect_nd(m, "T"))
+
+
+def _pipelined_loop(smoke, p, steps):
+    """The 1000-step Jacobi time loop: ONE world, rank-local buffer
+    swaps, end-of-step barriers only."""
+    n = 1 << 10 if smoke else 1 << 14
+    cl = Clause(
+        IndexSet(Bounds((1,), (n - 2,))),
+        Ref("U", SeparableMap([IdentityF()])),
+        (Ref("V", SeparableMap([AffineF(1, -1)]))
+         + Ref("V", SeparableMap([AffineF(1, 1)]))) * 0.5,
+    )
+    decomps = {"U": Block(n, p), "V": Block(n, p)}
+    pir = compile_program(Program([cl]), decomps, repeat=steps,
+                          swap=[("U", "V")])
+    assert pir.pipelined, pir.pipeline_reason
+    rng = np.random.default_rng(SEED)
+    env = {"U": np.zeros(n), "V": rng.random(n)}
+
+    def run(backend):
+        m, _barriers = run_program(pir, copy_env(env), backend=backend,
+                                   processes=p)
+        return m
+
+    return run
+
+
+def main(argv=None) -> int:
+    smoke = "--smoke" in (argv if argv is not None else sys.argv[1:])
+    procs = (4,) if smoke else PROCS
+    loop_steps = 20 if smoke else LOOP_STEPS
+    reps = 2 if smoke else REPS
+
+    # pin the stub transport when no real MPI stack is installed, so
+    # the rows measure the actual rank code rather than the fallback
+    forced_stub = False
+    if mpi_support().mode == "none":
+        os.environ["REPRO_MPI_STUB"] = "1"
+        reset_mpi_support()
+        forced_stub = True
+    mode = mpi_support().mode
+    if mode == "none":
+        print("FAIL: MPI backend unavailable even in stub mode "
+              f"({mpi_support().reason})")
+        return 1
+    print(f"mpi transport: {mode}"
+          + (" (no mpi4py/mpiexec on this host; stub pinned)"
+             if forced_stub else ""))
+
+    # measured communication coefficients (never the alpha=50.0 preset)
+    machine_desc = load_machine()
+    machine_source = "env:REPRO_MACHINE_FILE"
+    if machine_desc is None:
+        machine_desc = calibrate(reps=10 if smoke else 50)
+        machine_source = "calibrated inline"
+    print(f"machine ({machine_source}): {machine_desc.describe()}")
+
+    clear_plan_cache()
+    rows = []
+    failures = []
+    try:
+        for label, p, compile_fn, run_fn, collect_fn in \
+                _workloads(smoke, procs):
+            plan = compile_fn()
+            t_fused, m_fused = _median_of(
+                lambda run_fn=run_fn: run_fn(plan, "fused"), reps)
+            ref = collect_fn(m_fused)
+            t_mpi, m_mpi = _median_of(
+                lambda run_fn=run_fn: run_fn(plan, "mpi"), reps)
+            if not getattr(m_mpi, "is_mpi", False):
+                failures.append(f"{label} P={p}: mpi run fell back "
+                                "to fused")
+                continue
+            identical = bool(np.array_equal(ref, collect_fn(m_mpi)))
+            parity = _counters(m_fused) == _counters(m_mpi)
+            speedup = t_fused / t_mpi if t_mpi else float("inf")
+            row = {
+                "workload": label,
+                "processes": p,
+                "mode": m_mpi.mode,
+                "fused_s": round(t_fused, 6),
+                "mpi_s": round(t_mpi, 6),
+                "speedup_mpi_over_fused": round(speedup, 3),
+                "identical_results": identical,
+                "counter_parity": parity,
+            }
+            rows.append(row)
+            print(f"{label:16s} P={p}  fused {t_fused*1e3:9.2f} ms   "
+                  f"mpi[{m_mpi.mode}] {t_mpi*1e3:9.2f} ms  "
+                  f"speedup {speedup:5.2f}x  identical={identical} "
+                  f"parity={parity}")
+            if not identical:
+                failures.append(f"{label} P={p}: results differ "
+                                "from fused")
+            if not parity:
+                failures.append(f"{label} P={p}: message counters "
+                                "differ from fused")
+
+        # the pipelined time loop, steps/second
+        for p in procs:
+            run = _pipelined_loop(smoke, p, loop_steps)
+            t_fused, m_fused = _median_of(lambda: run("fused"),
+                                          max(1, reps - 2))
+            t_mpi, m_mpi = _median_of(lambda: run("mpi"),
+                                      max(1, reps - 2))
+            identical = all(
+                np.array_equal(m_fused.env[name], m_mpi.env[name])
+                for name in ("U", "V"))
+            row = {
+                "workload": f"pipelined-loop-{loop_steps}",
+                "processes": p,
+                "mode": mode,
+                "fused_s": round(t_fused, 6),
+                "mpi_s": round(t_mpi, 6),
+                "fused_steps_per_s": round(loop_steps / t_fused, 2),
+                "mpi_steps_per_s": round(loop_steps / t_mpi, 2),
+                "identical_results": identical,
+            }
+            rows.append(row)
+            print(f"pipelined loop   P={p}  {loop_steps} steps  "
+                  f"fused {loop_steps / t_fused:9.1f} steps/s   "
+                  f"mpi[{mode}] {loop_steps / t_mpi:9.1f} steps/s  "
+                  f"identical={identical}")
+            if not identical:
+                failures.append(
+                    f"pipelined loop P={p}: results differ from fused")
+    finally:
+        if forced_stub:
+            os.environ.pop("REPRO_MPI_STUB", None)
+            reset_mpi_support()
+
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}")
+        return 1
+
+    if smoke:
+        print("smoke OK (no JSON written)")
+        return 0
+
+    out = {
+        "bench": "mpi",
+        "meta": bench_metadata(),
+        "transport_mode": mode,
+        "stub_pinned": forced_stub,
+        "reps": REPS,
+        "loop_steps": LOOP_STEPS,
+        "machine": {
+            "source": machine_source,
+            **machine_desc.as_dict(),
+        },
+        "rows": rows,
+    }
+    path = Path(__file__).resolve().parent.parent / "BENCH_mpi.json"
+    path.write_text(json.dumps(out, indent=2) + "\n")
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -69,6 +69,11 @@ from repro.pipeline import (
 )
 from repro.runtime import shutdown_runtime
 
+try:
+    from .conftest import bench_metadata
+except ImportError:  # run as a script: benchmarks/ is sys.path[0]
+    from conftest import bench_metadata
+
 REPS = 9
 SEED = 2026
 PROCS = 4
@@ -269,6 +274,7 @@ def main(argv=None) -> int:
         return 0
 
     out = {
+        "meta": bench_metadata(),
         "bench": "native",
         "python": platform.python_version(),
         "machine": platform.machine(),

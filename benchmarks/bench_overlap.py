@@ -57,6 +57,11 @@ from repro.machine import LatencyModel
 from repro.pipeline import clear_plan_cache
 from repro.sets.table1 import clear_table1_cache
 
+try:
+    from .conftest import bench_metadata
+except ImportError:  # run as a script: benchmarks/ is sys.path[0]
+    from conftest import bench_metadata
+
 REPS = 5
 SEED = 2026
 MODEL = LatencyModel(alpha=100.0, beta=0.1, t_element=1.0)
@@ -219,6 +224,7 @@ def main() -> int:
               f"({entry['compile_speedup']:.0f}x)")
 
     out = {
+        "meta": bench_metadata(),
         "benchmark": "overlapped communication: interior/boundary overlap "
                      "+ plan cache",
         "reps": REPS,

@@ -41,6 +41,11 @@ from repro.core import (
 from repro.core.expr import BinOp
 from repro.decomp import Block, GridDecomposition, Scatter
 
+try:
+    from .conftest import bench_metadata
+except ImportError:  # run as a script: benchmarks/ is sys.path[0]
+    from conftest import bench_metadata
+
 REPS = 5
 SEED = 2026
 
@@ -124,6 +129,7 @@ def main() -> int:
               f"{entry['scalar_messages']} -> {entry['vector_messages']}")
 
     out = {
+        "meta": bench_metadata(),
         "benchmark": "pipeline scalar vs vectorized segment executor",
         "reps": REPS,
         "seed": SEED,

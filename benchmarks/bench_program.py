@@ -55,6 +55,11 @@ from repro.decomp import Block, GridDecomposition
 from repro.pipeline import clear_plan_cache, compile_program, run_program
 from repro.runtime import shutdown_runtime
 
+try:
+    from .conftest import bench_metadata
+except ImportError:  # run as a script: benchmarks/ is sys.path[0]
+    from conftest import bench_metadata
+
 REPS = 3
 SEED = 2026
 PROCS = 4
@@ -236,6 +241,7 @@ def main(argv=None) -> int:
         return 0
 
     out = {
+        "meta": bench_metadata(),
         "bench": "program",
         "python": platform.python_version(),
         "machine": platform.machine(),

@@ -60,6 +60,11 @@ from repro.decomp import Block, GridDecomposition
 from repro.pipeline import clear_plan_cache
 from repro.runtime import get_pool, shutdown_runtime
 
+try:
+    from .conftest import bench_metadata
+except ImportError:  # run as a script: benchmarks/ is sys.path[0]
+    from conftest import bench_metadata
+
 REPS = 5
 SEED = 2026
 HEADLINE_MIN_SPEEDUP = 1.5
@@ -204,6 +209,7 @@ def main(argv=None) -> int:
         return 0
 
     out = {
+        "meta": bench_metadata(),
         "bench": "runtime",
         "python": platform.python_version(),
         "machine": platform.machine(),

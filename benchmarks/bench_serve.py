@@ -47,6 +47,11 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.serve import ServeClient, connect  # noqa: E402
 
+try:
+    from .conftest import bench_metadata
+except ImportError:  # run as a script: benchmarks/ is sys.path[0]
+    from conftest import bench_metadata
+
 MIN_WARM_SPEEDUP = 10.0
 HEADLINE_CONCURRENCY = 64
 
@@ -294,6 +299,7 @@ def main(argv=None):
         return 0
 
     out = {
+        "meta": bench_metadata(),
         "bench": "serve",
         "python": platform.python_version(),
         "machine": platform.machine(),

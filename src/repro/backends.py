@@ -9,17 +9,28 @@ template.
 Entry points that only support a subset (e.g. shared-memory program runs
 have no ``overlap`` — there is no communication to hide) pass their
 subset as *allowed*; the error message then lists that subset.
+
+The registry also centralizes *availability*: backends that depend on an
+optional package (``native`` → numba, ``mpi`` → mpi4py) register a probe
+here, so every dispatcher and the CLI report "numba not installed" /
+"mpi4py unavailable" the same way — one :func:`backend_availability`
+lookup, one trace-noted line, fused fallback — instead of scattered
+backend-specific probes.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Iterable, Optional, Tuple
+from typing import Iterable, NamedTuple, Optional, Tuple
 
 __all__ = [
     "BACKENDS",
+    "BackendAvailability",
     "UnknownBackendError",
+    "availability_snapshot",
+    "backend_availability",
     "backend_names",
+    "resolve_backend",
     "validate_backend",
 ]
 
@@ -38,7 +49,66 @@ BACKENDS: "OrderedDict[str, str]" = OrderedDict((
     ("native", "numba-njit compiled node kernels (falls back to fused "
                "when numba is absent)"),
     ("mp", "multi-process runtime: fused kernels on real OS processes"),
+    ("mpi", "multi-node SPMD under mpiexec: nonblocking point-to-point "
+            "messages over a Cartesian process grid (falls back to "
+            "fused when mpi4py is absent)"),
 ))
+
+
+class BackendAvailability(NamedTuple):
+    """One backend's probed availability."""
+
+    backend: str
+    available: bool
+    mode: str       # "builtin" | the probe's mode ("njit", "stub", ...)
+    reason: str     # one-line availability note (the fallback message)
+
+
+def backend_availability(backend: str) -> BackendAvailability:
+    """Probe whether *backend* can actually run in this process.
+
+    In-process backends are always available ("builtin"); optional-
+    dependency backends delegate to their cached probe.  The ``reason``
+    string is what dispatchers put on the trace when falling back.
+    """
+    if backend == "native":
+        from .pipeline.native import native_support
+
+        s = native_support()
+        return BackendAvailability("native", s.available, s.mode, s.reason)
+    if backend == "mpi":
+        from .mpi.support import mpi_support
+
+        s = mpi_support()
+        return BackendAvailability("mpi", s.available, s.mode, s.reason)
+    if backend not in BACKENDS:
+        raise UnknownBackendError(
+            f"unknown backend {backend!r}; valid backends: "
+            + ", ".join(BACKENDS))
+    return BackendAvailability(backend, True, "builtin",
+                               "always available (in-process)")
+
+
+def availability_snapshot() -> "OrderedDict[str, dict]":
+    """Every backend's availability as plain dicts (benchmark metadata,
+    ``repro calibrate`` output)."""
+    return OrderedDict(
+        (name, backend_availability(name)._asdict()) for name in BACKENDS)
+
+
+def resolve_backend(backend, allowed=None, context=None, trace=None,
+                    fallback: str = "fused") -> str:
+    """Validate *backend*, then degrade to *fallback* (with a one-line
+    trace note) when its availability probe fails.  The single entry
+    point dispatchers use before branching on optional backends."""
+    validate_backend(backend, allowed, context)
+    av = backend_availability(backend)
+    if av.available:
+        return backend
+    if trace is not None:
+        trace.note(f"backend={backend!r} fell back to the {fallback} "
+                   f"path: {av.reason}")
+    return fallback
 
 
 def backend_names(allowed: Optional[Iterable[str]] = None) -> Tuple[str, ...]:

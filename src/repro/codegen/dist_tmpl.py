@@ -168,7 +168,11 @@ def run_distributed(
     processes of :mod:`repro.runtime` — real messages over queues,
     global arrays in shared memory (*processes*/*timeout* apply there)
     — falling back to the fused path when the plan has no mp form or a
-    pre-placed *machine* is supplied.
+    pre-placed *machine* is supplied.  ``backend="mpi"`` runs the same
+    lowered programs SPMD under ``mpiexec`` with nonblocking
+    point-to-point messages and private rank memories
+    (:mod:`repro.mpi`), degrading to fused with a trace note when
+    mpi4py is unavailable.
     """
     validate_backend(backend, context="run_distributed")
     if plan.clause.ordering is Ordering.SEQ:
@@ -177,6 +181,34 @@ def run_distributed(
             "is not generated; use the shared-memory template for • clauses"
         )
     ir = getattr(plan, "ir", None)
+    if backend == "mpi":
+        from ..backends import backend_availability
+
+        trace = getattr(plan, "trace", None)
+        av = backend_availability("mpi")
+        why = None
+        if not av.available:
+            why = av.reason
+        elif ir is None:
+            why = "plan carries no IR"
+        elif machine is not None:
+            why = ("a pre-placed machine was supplied; the MPI backend "
+                   "owns its own placement")
+        elif plan.write_replicated:
+            why = "replicated write is a per-copy broadcast"
+        if why is None:
+            from ..mpi.exec import MpiUnavailableError, run_distributed_mpi
+            from ..runtime import MpLoweringError
+
+            try:
+                return run_distributed_mpi(ir, env, strict=strict,
+                                           processes=processes,
+                                           timeout=timeout)
+            except (MpLoweringError, MpiUnavailableError) as err:
+                why = str(err)
+        if trace is not None:
+            trace.note(f"backend='mpi' fell back to the fused path: {why}")
+        backend = "fused"
     if backend == "mp":
         trace = getattr(plan, "trace", None)
         why = None

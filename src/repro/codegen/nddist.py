@@ -254,10 +254,40 @@ def run_distributed_nd(
     ``backend="mp"`` runs the fused kernels on real worker processes
     (*processes*/*timeout* apply there), falling back to the fused path
     when the plan has no mp form or a pre-placed *machine* is given.
+    ``backend="mpi"`` runs the same lowered programs SPMD under
+    ``mpiexec`` over a Cartesian process grid matching the
+    decomposition (:mod:`repro.mpi`), degrading to fused with a trace
+    note when mpi4py is unavailable.
     """
     from ..backends import validate_backend
 
     validate_backend(backend, context="run_distributed_nd")
+    if backend == "mpi":
+        from ..backends import backend_availability
+
+        trace = getattr(plan, "trace", None)
+        av = backend_availability("mpi")
+        why = None
+        if not av.available:
+            why = av.reason
+        elif plan.ir is None:
+            why = "plan carries no IR"
+        elif machine is not None:
+            why = ("a pre-placed machine was supplied; the MPI backend "
+                   "owns its own placement")
+        if why is None:
+            from ..mpi.exec import MpiUnavailableError, run_distributed_mpi
+            from ..runtime import MpLoweringError
+
+            try:
+                return run_distributed_mpi(plan.ir, env, strict=strict,
+                                           processes=processes,
+                                           timeout=timeout)
+            except (MpLoweringError, MpiUnavailableError) as err:
+                why = str(err)
+        if trace is not None:
+            trace.note(f"backend='mpi' fell back to the fused path: {why}")
+        backend = "fused"
     if backend == "mp":
         trace = getattr(plan, "trace", None)
         why = None

@@ -130,16 +130,44 @@ def run_shared_nd(
     (falling back to fused when numba is absent or the plan has no
     native form); ``backend="mp"`` runs those kernels on real worker processes
     (falling back to fused when the plan has no mp form);
+    ``backend="mpi"`` runs them SPMD under ``mpiexec`` (falling back to
+    fused when mpi4py is unavailable);
     • clauses (a serial chain) always take the scalar path.
     """
     from ..backends import validate_backend
 
     validate_backend(
-        backend, allowed=("scalar", "vector", "fused", "native", "mp"),
+        backend,
+        allowed=("scalar", "vector", "fused", "native", "mp", "mpi"),
         context="run_shared_nd")
     clause = plan.clause
     if machine is None:
         machine = SharedMachine(plan.pmax, env)
+
+    if backend == "mpi":
+        from ..backends import backend_availability
+
+        trace = getattr(plan, "trace", None)
+        av = backend_availability("mpi")
+        why = None
+        if not av.available:
+            why = av.reason
+        elif plan.ir is None:
+            why = "plan carries no IR"
+        elif clause.ordering is not Ordering.PAR:
+            why = "sequential (•) clause is a serial chain"
+        if why is None:
+            from ..mpi.exec import MpiUnavailableError, run_shared_mpi
+            from ..runtime import MpLoweringError
+
+            try:
+                return run_shared_mpi(plan.ir, env, machine,
+                                      processes=processes, timeout=timeout)
+            except (MpLoweringError, MpiUnavailableError) as err:
+                why = str(err)
+        if trace is not None:
+            trace.note(f"backend='mpi' fell back to the fused path: {why}")
+        backend = "fused"
 
     if backend == "mp":
         if plan.ir is not None:

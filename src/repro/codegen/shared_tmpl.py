@@ -77,10 +77,36 @@ def run_shared(
     those same kernels on the real worker processes of
     :mod:`repro.runtime` (*processes*/*timeout* apply there), falling
     back to the fused path when the plan has no mp form.
+    ``backend="mpi"`` runs them SPMD under ``mpiexec``
+    (:mod:`repro.mpi`), degrading to fused with a trace note when
+    mpi4py is unavailable.
     """
     validate_backend(backend, context="run_shared")
     if machine is None:
         machine = SharedMachine(plan.pmax, env)
+    if backend == "mpi":
+        from ..backends import backend_availability
+
+        trace = getattr(plan, "trace", None)
+        av = backend_availability("mpi")
+        ir = getattr(plan, "ir", None)
+        why = None
+        if not av.available:
+            why = av.reason
+        elif ir is None:
+            why = "plan carries no IR"
+        if why is None:
+            from ..mpi.exec import MpiUnavailableError, run_shared_mpi
+            from ..runtime import MpLoweringError
+
+            try:
+                return run_shared_mpi(ir, env, machine, strict=strict,
+                                      processes=processes, timeout=timeout)
+            except (MpLoweringError, MpiUnavailableError) as err:
+                why = str(err)
+        if trace is not None:
+            trace.note(f"backend='mpi' fell back to the fused path: {why}")
+        backend = "fused"
     if backend == "mp":
         ir = getattr(plan, "ir", None)
         if ir is not None:

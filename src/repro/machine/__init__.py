@@ -2,8 +2,16 @@
 for the substitution rationale — this stands in for physical shared- and
 distributed-memory hardware)."""
 
+from .calibrate import MachineDescription, calibrate, load_machine
 from .channels import LatencyModel, Message, Network
-from .costmodel import ETHERNET_CLUSTER, HYPERCUBE, SHARED_BUS, CostModel
+from .costmodel import (
+    ETHERNET_CLUSTER,
+    HYPERCUBE,
+    SHARED_BUS,
+    CostModel,
+    calibrated_cost_model,
+    default_cost_model,
+)
 from .distributed import DistributedMachine, NodeContext
 from .memory import LocalMemory, gather_global, scatter_global
 from .scheduler import (
@@ -38,6 +46,11 @@ __all__ = [
     "ETHERNET_CLUSTER",
     "HYPERCUBE",
     "SHARED_BUS",
+    "MachineDescription",
+    "calibrate",
+    "calibrated_cost_model",
+    "default_cost_model",
+    "load_machine",
     "LocalMemory",
     "scatter_global",
     "gather_global",

@@ -14,16 +14,24 @@ era's machines:
 
 All numbers are in arbitrary time units; only *ratios* matter, and the
 benchmarks only assert shape (who wins, where crossovers fall).
+
+A fourth, *measured* model is available once ``repro calibrate`` has run
+on the host: :func:`calibrated_cost_model` loads the saved
+:class:`~repro.machine.calibrate.MachineDescription` (explicit path or
+``$REPRO_MACHINE_FILE``) and normalizes its seconds into ``t_update``
+units, replacing the hardcoded ``alpha=50.0`` guess with the host's own
+latency/compute ratio.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from .stats import MachineStats, NodeStats
 
-__all__ = ["CostModel", "ETHERNET_CLUSTER", "HYPERCUBE", "SHARED_BUS"]
+__all__ = ["CostModel", "ETHERNET_CLUSTER", "HYPERCUBE", "SHARED_BUS",
+           "calibrated_cost_model", "default_cost_model"]
 
 
 @dataclass(frozen=True)
@@ -79,3 +87,20 @@ ETHERNET_CLUSTER = CostModel("ethernet-cluster", alpha=500.0, beta=5.0,
                              t_barrier=200.0)
 HYPERCUBE = CostModel("hypercube", alpha=50.0, beta=1.0, t_barrier=20.0)
 SHARED_BUS = CostModel("shared-bus", alpha=0.0, beta=0.0, t_barrier=5.0)
+
+
+def calibrated_cost_model(path: Optional[str] = None) \
+        -> Optional[CostModel]:
+    """The measured model for this host, or ``None`` when no machine
+    description is saved (``path`` argument or ``$REPRO_MACHINE_FILE``).
+    See :mod:`repro.machine.calibrate`."""
+    from .calibrate import load_machine
+
+    md = load_machine(path)
+    return md.cost_model() if md is not None else None
+
+
+def default_cost_model() -> CostModel:
+    """The calibrated model when one is configured, else ``HYPERCUBE``
+    (the preset the benchmarks historically cited)."""
+    return calibrated_cost_model() or HYPERCUBE

@@ -1,0 +1,66 @@
+"""Multi-node MPI backend: SPMD execution of lowered node programs.
+
+The last step from "simulated distributed machine" to "actually
+distributed": the same :class:`~repro.runtime.lowering.MpProgram` the
+shm worker pool executes is run SPMD under ``mpiexec -n P`` with real
+``Isend``/``Irecv``/``Waitall`` and genuinely private rank memories —
+ranks attached to their node sets through a Cartesian communicator when
+the decomposition is a grid.
+
+Layers:
+
+=============  ==========================================================
+:mod:`support`   cached availability probe (mpi4py / stub / none)
+:mod:`transport` mpi4py adapter + in-process stub world (threads)
+:mod:`rank`      the SPMD runner; ``python -m repro.mpi.rank`` entry
+:mod:`launcher`  out-of-world self-exec under ``mpiexec``
+:mod:`exec`      parent-side drivers wired into ``backend="mpi"``
+=============  ==========================================================
+
+Heavy submodules load lazily so ``python -m repro.mpi.rank`` does not
+re-import itself and probing availability stays import-free.
+"""
+
+from .support import (
+    MpiSupport,
+    in_mpi_world,
+    mpi_support,
+    reset_mpi_support,
+)
+
+__all__ = [
+    "MpiJob",
+    "MpiLaunchError",
+    "MpiMachine",
+    "MpiRankError",
+    "MpiSupport",
+    "MpiUnavailableError",
+    "encode_tag",
+    "in_mpi_world",
+    "max_tag",
+    "mpi_support",
+    "reset_mpi_support",
+    "run_distributed_mpi",
+    "run_program_mpi",
+    "run_shared_mpi",
+]
+
+_EXEC = ("MpiMachine", "MpiRankError", "MpiUnavailableError",
+         "run_distributed_mpi", "run_program_mpi", "run_shared_mpi")
+_RANK = ("MpiJob", "encode_tag", "max_tag")
+
+
+def __getattr__(name: str):
+    if name in _EXEC:
+        from . import exec as _exec_mod
+
+        return getattr(_exec_mod, name)
+    if name in _RANK:
+        from . import rank as _rank_mod
+
+        return getattr(_rank_mod, name)
+    if name == "MpiLaunchError":
+        from .launcher import MpiLaunchError
+
+        return MpiLaunchError
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,581 @@
+"""Rank-side SPMD runner: lowered ``MpProgram``s over real Isend/Irecv.
+
+Every rank executes the same schedule the shm workers prove correct
+(:mod:`repro.runtime.worker`), with the queue transport replaced by
+nonblocking point-to-point messages:
+
+1. **post**      — ``Irecv`` one buffer per expected ``(dst node,
+                   src node, read pos)`` message *before* anything is
+                   sent, so even self- and same-rank messages match
+                   without buffering surprises;
+2. **send**      — gather pre-state payloads with the precomputed global
+                   keys, ``Isend`` one message per (read, peer) pair;
+3. **gather**    — fill each owned node's local read lanes from the
+                   rank-private global arrays;
+4. **barrier**   — the pre-commit barrier (kept for schedule parity with
+                   the shm runtime; rank memories are private, so it
+                   also pins the per-clause skew to one clause);
+5. **interior**  — fused/native interior kernel + commit while messages
+                   are in flight;
+6. **drain**     — ``Waitall`` the receives, fill remote lanes;
+7. **boundary**  — boundary kernel + commit; then ``Waitall`` the sends
+                   (send buffers stay referenced until here).
+
+Tags encode ``(seq, dst node, src node, pos)`` — the same key the shm
+queues use — with the clause sequence number taken modulo
+:data:`TAG_SEQ_WINDOW`.  The per-clause pre-commit barrier bounds rank
+skew to a single clause, so a window of 16 can never alias.
+
+Nodes attach to ranks round-robin (``node % size``) exactly like the
+worker pool multiplexes nodes onto processes; with one rank per node and
+a grid decomposition, ranks are additionally attached through a
+Cartesian communicator whose dims match the decomposition's grid shape
+(``reorder=False`` keeps cart ranks equal to linear node ids).
+
+Because rank memories are private, a rank's copy of a global array is
+authoritative exactly on the elements its nodes own — every remote read
+lane arrives as a message.  The final allgather therefore exchanges only
+``(flat write positions, values)`` per rank, after which every rank
+holds the full post-state.
+
+Run as a module this file is the in-world SPMD entry::
+
+    mpiexec -n 4 python -m repro.mpi.rank            # E19/E13 selftest
+    mpiexec -n P python -m repro.mpi.rank --job DIR  # launcher protocol
+    mpiexec -n 2 python -m repro.mpi.rank --pingpong # calibration sweep
+
+Without mpi4py the selftest runs on the stub transport (and says so).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..runtime.stats import RuntimeStats
+from ..runtime.worker import _commit, _compile_kernel, _flat, _index
+
+__all__ = [
+    "MpiJob",
+    "TAG_SEQ_WINDOW",
+    "encode_tag",
+    "max_tag",
+    "run_job",
+]
+
+#: clause-sequence window for tag encoding; per-clause barriers bound
+#: rank skew to one clause, so aliasing needs 16 clauses of drift
+TAG_SEQ_WINDOW = 16
+
+
+def encode_tag(seq: int, dst_node: int, src_node: int, pos: int,
+               pmax: int, nreads: int) -> int:
+    """The message tag for one ``(run seq, dst, src, pos)`` key."""
+    nr = max(1, nreads)
+    return (((seq % TAG_SEQ_WINDOW) * pmax + dst_node) * pmax
+            + src_node) * nr + pos
+
+
+def max_tag(pmax: int, nreads: int) -> int:
+    """Largest tag the encoding can produce for a program shape."""
+    return encode_tag(TAG_SEQ_WINDOW - 1, pmax - 1, pmax - 1,
+                      max(1, nreads) - 1, pmax, nreads)
+
+
+@dataclass
+class MpiJob:
+    """Everything the ranks need for one launch (picklable)."""
+
+    progs: tuple                    # MpProgram per clause
+    flags: tuple                    # end-of-clause barrier flags
+    repeat: int = 1
+    swap: tuple = ()                # buffer pairs exchanged per step
+    names: tuple = ()               # global array names shipped
+    grid_shape: tuple = ()          # () = no Cartesian attachment
+    timeout: float = 120.0
+    fault_rank: int = -1            # test hook: this rank raises mid-run
+    meta: dict = field(default_factory=dict)
+
+
+class _RankInstall:
+    """One clause's installed program on this rank: compiled kernel(s)
+    plus the nodes attached here (``node % size == rank``) — the exact
+    analogue of the shm worker's ``_Installed``."""
+
+    def __init__(self, prog, rank: int, size: int):
+        (self.token, self.flavor, self.source, self.nreads,
+         self.write_name, self.my_nodes, native_source) = \
+            prog.payload_for(rank, size)
+        self.prog = prog
+        self.rhs, self.guard = _compile_kernel(self.source)
+        self.native_entry = None
+        self.native_jit_s = 0.0
+        if native_source is not None:
+            from ..pipeline.native import compile_native_entry, native_support
+
+            if native_support().available:
+                try:
+                    self.native_entry, self.native_jit_s = \
+                        compile_native_entry(native_source)
+                except Exception:
+                    self.native_entry = None
+
+
+def _zero_counts() -> Dict[str, int]:
+    return {"sends": 0, "recvs": 0, "elements_sent": 0,
+            "elements_received": 0, "local_updates": 0,
+            "iterations": 0, "barriers": 0}
+
+
+def _run_clause(comm, inst: _RankInstall, arrays, seq: int, counts,
+                stats: RuntimeStats, phase: List[str],
+                fault_rank: int = -1) -> None:
+    """One clause of the overlap schedule on this rank (steps 1-7 of the
+    module docstring)."""
+    prog = inst.prog
+    pmax, nreads = prog.pmax, prog.nreads
+    my_nodes = inst.my_nodes
+
+    # ---- post: Irecv every expected message before any send ---------------
+    phase[0] = "post"
+    recvs = []   # (request, dst node, read pos, buffer, fill lanes)
+    rvals_by: Dict[int, np.ndarray] = {}
+    for node in my_nodes:
+        counts[node.p]["iterations"] += node.n
+        if node.n:
+            rvals_by[node.p] = np.empty((max(nreads, 0), node.n),
+                                        dtype=np.float64)
+        for r in node.reads:
+            for src, fill in r.sources:
+                buf = np.empty(int(fill.size), dtype=np.float64)
+                tag = encode_tag(seq, node.p, int(src), r.pos, pmax, nreads)
+                req = comm.irecv(buf, source=int(src) % comm.size, tag=tag)
+                recvs.append((req, node.p, r.pos, buf, fill))
+
+    # ---- send: pre-state payloads, one Isend per (read, peer) -------------
+    phase[0] = "send"
+    sends = []   # requests; payload buffers stay referenced alongside
+    bufs = []
+    for node in my_nodes:
+        c = counts[node.p]
+        for s in node.sends:
+            c["iterations"] += s.count
+            src_arr = arrays[s.name]
+            flat_src = src_arr.reshape(-1)
+            for q, key in s.peers:
+                # fresh contiguous copy per send: valid until Waitall
+                buf = flat_src[_flat(key, src_arr.shape)]
+                tag = encode_tag(seq, int(q), node.p, s.pos, pmax, nreads)
+                sends.append(comm.isend(buf, dest=int(q) % comm.size,
+                                        tag=tag))
+                bufs.append(buf)
+                c["sends"] += 1
+                c["elements_sent"] += int(buf.size)
+                stats.send_count += 1
+                stats.send_bytes += int(buf.nbytes)
+
+    # ---- gather: local lanes from the rank-private global arrays ----------
+    phase[0] = "gather"
+    for node in my_nodes:
+        if node.n == 0:
+            continue
+        rvals = rvals_by[node.p]
+        for r in node.reads:
+            vals = rvals[r.pos]
+            if r.local_pos is None:
+                vals[:] = arrays[r.name][_index(r.local_key)]
+            elif r.local_pos.size:
+                vals[r.local_pos] = arrays[r.name][_index(r.local_key)]
+
+    if fault_rank == comm.rank and seq == 0:
+        raise RuntimeError(
+            f"injected fault on rank {comm.rank} (test hook)")
+
+    # ---- pre-commit barrier ----------------------------------------------
+    phase[0] = "barrier"
+    t0 = time.perf_counter()
+    comm.barrier()
+    stats.barrier_s += time.perf_counter() - t0
+    for node in my_nodes:
+        counts[node.p]["barriers"] += 1
+
+    # ---- interior kernels (messages still in flight) ----------------------
+    phase[0] = "interior"
+    t0 = time.perf_counter()
+    for node in my_nodes:
+        if node.n:
+            _commit(inst, node, rvals_by[node.p], node.interior,
+                    node.idx_interior, node.wkey_interior,
+                    arrays[inst.write_name], counts[node.p], "int")
+    stats.kernel_s += time.perf_counter() - t0
+
+    # ---- drain: Waitall receives, fill remote lanes -----------------------
+    phase[0] = "drain"
+    comm.waitall([r[0] for r in recvs])
+    for _req, p, pos, buf, fill in recvs:
+        rvals_by[p][pos][fill] = buf
+        counts[p]["recvs"] += 1
+        counts[p]["elements_received"] += int(buf.size)
+        stats.recv_count += 1
+        stats.recv_bytes += int(buf.nbytes)
+
+    # ---- boundary kernels -------------------------------------------------
+    phase[0] = "boundary"
+    t0 = time.perf_counter()
+    for node in my_nodes:
+        if node.n:
+            _commit(inst, node, rvals_by[node.p], node.boundary,
+                    node.idx_boundary, node.wkey_boundary,
+                    arrays[inst.write_name], counts[node.p], "bnd")
+    stats.kernel_s += time.perf_counter() - t0
+
+    # ---- send completion (buffers released after this) --------------------
+    phase[0] = "send-wait"
+    comm.waitall(sends)
+    del bufs
+
+
+def _final_names(prog, job: MpiJob) -> Tuple[str, ...]:
+    """Array names the content written by *prog* can end up under: the
+    write name itself plus, under a time-loop buffer swap, its partner —
+    the swap after the last step leaves the final commits under the
+    partner's name.  The pipeline pass has already proven the pair
+    placement-compatible, so the node -> positions map is identical
+    under either name."""
+    names = {prog.write_name}
+    for a, b in job.swap:
+        if prog.write_name == a:
+            names.add(b)
+        elif prog.write_name == b:
+            names.add(a)
+    return tuple(sorted(names))
+
+
+def _contrib(insts, job: MpiJob, arrays) -> Dict[str, tuple]:
+    """This rank's authoritative post-state: for every array name one
+    ``(flat positions, values)`` pair covering the elements its nodes
+    own.  Rank-private commits only ever touch owned positions, so the
+    local values at those positions are the global truth."""
+    out: Dict[str, List[np.ndarray]] = {}
+    for inst in insts:
+        for name in _final_names(inst.prog, job):
+            shape = arrays[name].shape
+            flats = out.setdefault(name, [])
+            for node in inst.my_nodes:
+                flats.append(_flat(node.wkey_interior, shape))
+                flats.append(_flat(node.wkey_boundary, shape))
+    final = {}
+    for name, flats in out.items():
+        flat = (np.concatenate(flats) if flats
+                else np.zeros(0, dtype=np.int64))
+        final[name] = (flat, arrays[name].reshape(-1)[flat].copy())
+    return final
+
+
+def run_job(comm, job: MpiJob, arrays: Dict[str, np.ndarray]):
+    """Execute *job* SPMD on *comm* against rank-private *arrays*
+    (mutated to the full post-state on **every** rank via the final
+    allgather).  Returns ``(stats_by_rank, counts_by_rank)`` — the same
+    lists on every rank, sorted by rank."""
+    phase = ["install"]
+    try:
+        for prog in job.progs:
+            need = max_tag(prog.pmax, prog.nreads)
+            if need > comm.tag_ub:
+                raise RuntimeError(
+                    f"encoded tag space needs {need} but this MPI "
+                    f"implementation guarantees only tag_ub={comm.tag_ub}")
+        insts = [_RankInstall(prog, comm.rank, comm.size)
+                 for prog in job.progs]
+        nodes = sorted({nd.p for inst in insts for nd in inst.my_nodes})
+        stats = RuntimeStats(
+            rank=comm.rank, pid=os.getpid(), nodes=tuple(nodes),
+            native=any(inst.native_entry is not None for inst in insts))
+        counts = {p: _zero_counts() for p in nodes}
+        t_start = time.perf_counter()
+        nclauses = len(insts)
+        seq = 0
+        for step in range(job.repeat):
+            for k, inst in enumerate(insts):
+                _run_clause(comm, inst, arrays, seq, counts, stats,
+                            phase, job.fault_rank)
+                last = step == job.repeat - 1 and k == nclauses - 1
+                if job.flags[k] and not last:
+                    phase[0] = "barrier"
+                    t0 = time.perf_counter()
+                    comm.barrier()
+                    stats.barrier_s += time.perf_counter() - t0
+                seq += 1
+            for a, b in job.swap:
+                arrays[a], arrays[b] = arrays[b], arrays[a]
+        stats.total_s = time.perf_counter() - t_start
+
+        # ---- exchange authoritative post-state + observability ------------
+        phase[0] = "collect"
+        contrib = _contrib(insts, job, arrays)
+        gathered = comm.allgather_obj((contrib, stats, counts))
+    except BaseException as err:
+        # never leave sibling ranks blocked: abort the world, then let
+        # the failure surface (launcher exit code / stub thread record)
+        try:
+            comm.abort(1)
+        except Exception:
+            pass
+        err._mpi_phase = phase[0]  # parent-side diagnosis
+        raise
+    for rank_contrib, _s, _c in gathered:
+        for name, (flat, values) in rank_contrib.items():
+            if flat.size:
+                arrays[name].reshape(-1)[flat] = values
+    stats_by_rank = sorted((s for _c2, s, _n in gathered),
+                           key=lambda s: s.rank)
+    counts_by_rank = [c for _c2, _s, c in gathered]
+    return stats_by_rank, counts_by_rank
+
+
+def attach(comm, job: MpiJob):
+    """Cartesian attachment when the grid dims cover the world exactly
+    (one rank per node); round-robin multiplexing otherwise."""
+    if job.grid_shape:
+        total = 1
+        for g in job.grid_shape:
+            total *= g
+        if total == comm.size:
+            return comm.make_cart(job.grid_shape)
+    return comm
+
+
+# ---------------------------------------------------------------------------
+# module entry: --job (launcher protocol), --pingpong, selftest
+# ---------------------------------------------------------------------------
+
+def _main_job(comm, jobdir: str) -> int:
+    if comm.rank == 0:
+        with open(os.path.join(jobdir, "job.pkl"), "rb") as fh:
+            job = pickle.load(fh)  # noqa: S301 — launcher-written file
+        with np.load(os.path.join(jobdir, "env.npz")) as data:
+            arrays = {name: np.array(data[name]) for name in data.files}
+    else:
+        job = arrays = None
+    job = comm.bcast_obj(job)
+    arrays = comm.bcast_obj(arrays)
+    arrays = {name: np.ascontiguousarray(arr, dtype=np.float64)
+              for name, arr in arrays.items()}
+    stats, counts = run_job(attach(comm, job), job, arrays)
+    if comm.rank == 0:
+        np.savez(os.path.join(jobdir, "result.npz"), **arrays)
+        payload = {
+            "stats": [s.as_dict() for s in stats],
+            "counts": [{str(p): c for p, c in by.items()}
+                       for by in counts],
+        }
+        with open(os.path.join(jobdir, "stats.json"), "w") as fh:
+            json.dump(payload, fh)
+    return 0
+
+
+def _main_pingpong(comm, sizes, reps: int) -> int:
+    """Rank 0 <-> rank 1 round-trip sweep; rank 0 prints one JSON object
+    with per-size one-way seconds (the `repro calibrate` input)."""
+    if comm.size < 2:
+        if comm.rank == 0:
+            print(json.dumps({"error": "pingpong needs >= 2 ranks"}))
+        return 1
+    points = []
+    for n in sizes:
+        buf = np.zeros(n, dtype=np.float64)
+        # warmup exchange
+        for _ in range(3):
+            _exchange(comm, buf)
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            _exchange(comm, buf)
+        dt = time.perf_counter() - t0
+        points.append([int(n), dt / reps / 2.0])  # one-way
+    comm.barrier()
+    if comm.rank == 0:
+        print(json.dumps({"points": points, "reps": reps,
+                          "ranks": comm.size}))
+    return 0
+
+
+def _exchange(comm, buf: np.ndarray) -> None:
+    if comm.rank == 0:
+        comm.waitall([comm.isend(buf, dest=1, tag=7)])
+        comm.waitall([comm.irecv(buf, source=1, tag=8)])
+    elif comm.rank == 1:
+        comm.waitall([comm.irecv(buf, source=0, tag=7)])
+        comm.waitall([comm.isend(buf, dest=0, tag=8)])
+
+
+def _selftest_job(pmax: int, n: int = 48):
+    """E19 (2-D five-point stencil on a grid) + E13 (1-D stencil): the
+    acceptance workloads, compiled exactly as the benchmarks do."""
+    from ..codegen import compile_clause
+    from ..codegen.nddist import compile_clause_nd_dist
+    from ..core import (
+        AffineF,
+        Bounds,
+        Clause,
+        Const,
+        IdentityF,
+        IndexSet,
+        Ref,
+        SeparableMap,
+    )
+    from ..core.expr import BinOp
+    from ..decomp import Block, GridDecomposition
+    from ..runtime.lowering import lower_dist
+
+    sides = {1: (1, 1), 2: (2, 1), 4: (2, 2), 8: (4, 2)}
+    side = sides.get(pmax, (pmax, 1))
+
+    def sref(di, dj):
+        fi = AffineF(1, di) if di else IdentityF()
+        fj = AffineF(1, dj) if dj else IdentityF()
+        return Ref("S", SeparableMap([fi, fj]))
+
+    e19 = Clause(
+        IndexSet(Bounds((1, 1), (n - 2, n - 2))),
+        Ref("T", SeparableMap([IdentityF(), IdentityF()])),
+        BinOp("*", Const(0.25),
+              BinOp("+", BinOp("+", sref(-1, 0), sref(1, 0)),
+                    BinOp("+", sref(0, -1), sref(0, 1)))),
+    )
+    grid = GridDecomposition([Block(n, side[0]), Block(n, side[1])])
+    plan19 = compile_clause_nd_dist(e19, {"T": grid, "S": grid})
+
+    e13 = Clause(
+        domain=IndexSet.range1d(1, n - 2),
+        lhs=Ref("A", SeparableMap([AffineF(1, 0)])),
+        rhs=Ref("B", SeparableMap([AffineF(1, -1)]))
+        + Ref("B", SeparableMap([AffineF(1, 1)])),
+    )
+    plan13 = compile_clause(
+        e13, {"A": Block(n, pmax), "B": Block(n, pmax)})
+
+    rng = np.random.default_rng(2026)
+    env = {
+        "S": rng.random((n, n)), "T": np.zeros((n, n)),
+        "A": np.zeros(n), "B": rng.random(n),
+    }
+    jobs = [
+        ("E19", MpiJob(progs=(lower_dist(plan19.ir),), flags=(True,),
+                       names=("S", "T"), grid_shape=grid.grid_shape),
+         plan19, "T"),
+        ("E13", MpiJob(progs=(lower_dist(plan13.ir),), flags=(True,),
+                       names=("A", "B")),
+         plan13, "A"),
+    ]
+    return jobs, env
+
+
+def _fused_reference(plan, env, label: str) -> np.ndarray:
+    from ..codegen import run_distributed
+    from ..codegen.nddist import collect_nd, run_distributed_nd
+    from ..core import copy_env
+
+    if label == "E19":
+        m = run_distributed_nd(plan, copy_env(env), backend="fused")
+        return collect_nd(m, "T")
+    m = run_distributed(plan, copy_env(env), backend="fused")
+    return m.collect("A")
+
+
+def _main_selftest(comm, stub: bool) -> int:
+    jobs, env = _selftest_job(comm.size)
+    ok = True
+    for label, job, plan, write in jobs:
+        arrays = {name: np.ascontiguousarray(env[name], dtype=np.float64)
+                  .copy() for name in env}
+        run_job(attach(comm, job), job, arrays)
+        if comm.rank == 0:
+            ref = _fused_reference(plan, env, label)
+            same = bool(np.array_equal(arrays[write], ref))
+            ok &= same
+            mode = "stub" if stub else "mpi4py"
+            print(f"repro.mpi selftest [{mode}] {label} P={comm.size}: "
+                  f"bit-identical to fused: {same}")
+    if comm.rank == 0:
+        print("repro.mpi selftest:", "OK" if ok else "FAILED")
+    comm.barrier()
+    return 0 if ok else 1
+
+
+def _stub_selftest(nranks: int) -> int:
+    """Selftest without mpi4py: same runner, stub transport."""
+    import threading
+
+    from .transport import StubWorld
+
+    world = StubWorld(nranks, timeout=120.0)
+    codes = [0] * nranks
+    threads = []
+    for r in range(nranks):
+        def body(r=r):
+            codes[r] = _main_selftest(world.comm(r), stub=True)
+        t = threading.Thread(target=body, name=f"repro-mpi-stub-{r}",
+                             daemon=True)
+        threads.append(t)
+        t.start()
+    for t in threads:
+        t.join(180.0)
+    return max(codes)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    import argparse
+
+    from .support import in_mpi_world, mpi_support
+
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.mpi.rank",
+        description="in-world SPMD entry of the MPI backend "
+                    "(run under mpiexec -n P)")
+    ap.add_argument("--job", metavar="DIR", default=None,
+                    help="launcher protocol: load DIR/job.pkl + env.npz, "
+                         "write DIR/result.npz + stats.json from rank 0")
+    ap.add_argument("--pingpong", action="store_true",
+                    help="alpha/beta calibration sweep between ranks 0 "
+                         "and 1 (JSON on stdout)")
+    ap.add_argument("--sizes", default="1,64,1024,8192,65536",
+                    help="comma-separated message sizes for --pingpong")
+    ap.add_argument("--reps", type=int, default=50)
+    ap.add_argument("--np", dest="nranks", type=int, default=4,
+                    help="stub rank count when run without mpi4py")
+    args = ap.parse_args(argv)
+
+    sup = mpi_support()
+    if sup.mode == "mpi4py" or in_mpi_world():
+        try:
+            from .transport import world_comm
+
+            comm = world_comm()
+        except ImportError as e:
+            print(f"error: launched under MPI but mpi4py is not "
+                  f"importable: {e}", file=sys.stderr)
+            return 2
+        if args.job:
+            return _main_job(comm, args.job)
+        if args.pingpong:
+            return _main_pingpong(
+                comm, [int(s) for s in args.sizes.split(",")], args.reps)
+        return _main_selftest(comm, stub=False)
+    if args.job or args.pingpong:
+        print(f"error: --job/--pingpong need an MPI world ({sup.reason})",
+              file=sys.stderr)
+        return 2
+    print(f"note: {sup.reason}; running the selftest on the stub "
+          f"transport with {args.nranks} thread-ranks", file=sys.stderr)
+    return _stub_selftest(args.nranks)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

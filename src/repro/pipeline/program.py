@@ -600,7 +600,7 @@ def _run_step(st: ProgramStep, machine: SharedMachine, backend: str,
     if st.nd:
         from ..codegen.ndplan import run_shared_nd
 
-        if strict and backend in ("fused", "native", "mp"):
+        if strict and backend in ("fused", "native", "mp", "mpi"):
             from ..machine.fused import check_strict
 
             check_strict(st.ir, True)
@@ -695,7 +695,11 @@ def run_program(
     (trace note); ``mp`` executes the whole program on the worker pool —
     one shared-memory session across every clause and iteration when the
     program is pipelined — and falls back to per-clause driving (with a
-    trace note) when a clause has no mp form.
+    trace note) when a clause has no mp form; ``mpi`` executes the whole
+    program SPMD under ``mpiexec`` — one MPI world across every clause
+    and iteration, rank-local buffer swaps, a single final-state
+    exchange — degrading first to per-clause driving and ultimately to
+    fused when mpi4py is unavailable.
     """
     from ..backends import validate_backend
 
@@ -706,6 +710,26 @@ def run_program(
         pir.trace.note("backend='overlap' on shared memory: no messages "
                        "to overlap; running the vector backend")
         backend = "vector"
+    if backend == "mpi":
+        from ..backends import backend_availability
+
+        av = backend_availability("mpi")
+        if av.available:
+            from ..mpi.exec import MpiUnavailableError, run_program_mpi
+            from ..runtime import MpLoweringError
+
+            try:
+                return run_program_mpi(pir, machine, strict=strict,
+                                       processes=processes,
+                                       timeout=timeout)
+            except (MpLoweringError, MpiUnavailableError) as err:
+                pir.trace.note(
+                    f"backend='mpi' whole-program execution unavailable "
+                    f"({err}); driving clauses individually")
+        else:
+            pir.trace.note(
+                f"backend='mpi' fell back to the fused path: {av.reason}")
+            backend = "fused"
     if backend == "mp":
         from ..runtime import MpLoweringError, run_program_mp
 

@@ -365,10 +365,10 @@ class TestFallbacks:
 
 class TestAllBackendsAgree:
     """The fused-backend acceptance property: scalar, vector, overlap,
-    fused, native and mp executions produce bit-identical post-state
-    memories, and the batching backends (vector / overlap / fused /
-    native / mp) exchange exactly the same messages, across
-    decomposition kinds.
+    fused, native, mp and mpi executions produce bit-identical
+    post-state memories, and the batching backends (vector / overlap /
+    fused / native / mp / mpi) exchange exactly the same messages,
+    across decomposition kinds.
 
     The mp backend runs the same kernels on real OS processes — a small
     fixed worker count keeps the hypothesis sweep fast (the pool is
@@ -376,7 +376,29 @@ class TestAllBackendsAgree:
     backend runs the njit scalar-loop kernels when numba is present and
     degrades to the fused tier otherwise — bit-identity is required
     either way (the interp-mode native stack is exercised separately in
-    ``tests/test_native.py``)."""
+    ``tests/test_native.py``).  The mpi backend is pinned to its
+    threaded stub transport here (real ``mpiexec`` would pay a process
+    launch per hypothesis example); when even the stub is unavailable
+    it degrades to fused, and bit-identity + message parity are
+    required either way."""
+
+    @pytest.fixture(scope="class", autouse=True)
+    def _mpi_stub(self):
+        # exercise the real rank/transport code without mpiexec: the
+        # threaded stub world (see tests/test_mpi.py for the full sweep)
+        import os
+
+        from repro.mpi import reset_mpi_support
+
+        old = os.environ.get("REPRO_MPI_STUB")
+        os.environ["REPRO_MPI_STUB"] = "1"
+        reset_mpi_support()
+        yield
+        if old is None:
+            os.environ.pop("REPRO_MPI_STUB", None)
+        else:
+            os.environ["REPRO_MPI_STUB"] = old
+        reset_mpi_support()
 
     @settings(max_examples=40, deadline=None)
     @given(
@@ -409,25 +431,26 @@ class TestAllBackendsAgree:
         env0 = env1d(seed)
         ref = evaluate_clause(cl, copy_env(env0))["A"]
 
-        # shared machine: scalar / vector / fused / native / mp all
-        # bit-identical
-        for backend in ("scalar", "vector", "fused", "native", "mp"):
+        # shared machine: scalar / vector / fused / native / mp / mpi
+        # all bit-identical
+        for backend in ("scalar", "vector", "fused", "native", "mp",
+                        "mpi"):
             m = run_shared(plan, copy_env(env0), backend=backend,
                            processes=2)
             assert np.array_equal(m.env["A"], ref), f"shared {backend}"
 
-        # distributed machine: all six backends bit-identical, and the
-        # batching backends move exactly the same messages/elements
+        # distributed machine: all seven backends bit-identical, and
+        # the batching backends move exactly the same messages/elements
         msgs = {}
         for backend in ("scalar", "vector", "overlap", "fused",
-                        "native", "mp"):
+                        "native", "mp", "mpi"):
             m = run_distributed(plan, copy_env(env0), backend=backend,
                                 processes=2)
             assert np.array_equal(m.collect("A"), ref), f"dist {backend}"
             msgs[backend] = (m.stats.total_messages(),
                              m.stats.total_elements_moved())
         assert msgs["vector"] == msgs["overlap"] == msgs["fused"] \
-            == msgs["native"] == msgs["mp"]
+            == msgs["native"] == msgs["mp"] == msgs["mpi"]
         # batching never changes what moves, only how it is packed
         assert msgs["vector"][1] == msgs["scalar"][1]
 

@@ -298,7 +298,7 @@ def _run_args(prog_file, *extra):
 class TestBackendRegistryCLI:
     def test_registry_lists_all_backends(self):
         assert backend_names() == ("scalar", "vector", "overlap",
-                                   "fused", "native", "mp")
+                                   "fused", "native", "mp", "mpi")
 
     def test_unknown_backend_is_one_line_error(self):
         plan, env0 = stencil_plan(), env1d()
